@@ -1,0 +1,113 @@
+//! Criterion benches of the computational substrates: the functional
+//! systolic engines, the GEMM mapper, the SM simulator and the hybrid
+//! operators. These are the hot paths behind every figure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sma_core::{GemmMapper, SmaConfig};
+use sma_models::ops;
+use sma_sim::{SchedulerKind, SmSim};
+use sma_systolic::{
+    OutputStationaryArray, SemiBroadcastArray, SystolicGemm, WeightStationaryArray,
+};
+use sma_tensor::{gemm, Matrix};
+
+fn bench_dataflow_engines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("systolic_engines");
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    let a = Matrix::<f32>::random(128, 8, 1);
+    let b = Matrix::<f32>::random(8, 8, 2);
+    g.bench_function("semi_broadcast_128x8x8", |bench| {
+        bench.iter(|| {
+            let mut e = SemiBroadcastArray::new(8);
+            std::hint::black_box(e.gemm(&a, &b).unwrap())
+        })
+    });
+    g.bench_function("weight_stationary_128x8x8", |bench| {
+        bench.iter(|| {
+            let mut e = WeightStationaryArray::new(8);
+            std::hint::black_box(e.gemm(&a, &b).unwrap())
+        })
+    });
+    g.bench_function("output_stationary_128x8x8", |bench| {
+        bench.iter(|| {
+            let mut e = OutputStationaryArray::new(8);
+            std::hint::black_box(e.gemm(&a, &b).unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn bench_gemm_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for n in [64usize, 128] {
+        let a = Matrix::<f32>::random(n, n, 3);
+        let b = Matrix::<f32>::random(n, n, 4);
+        g.bench_with_input(BenchmarkId::new("reference", n), &n, |bench, _| {
+            bench.iter(|| std::hint::black_box(gemm::reference(&a, &b).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("sma_mapper", n), &n, |bench, _| {
+            let mapper = GemmMapper::new(SmaConfig::iso_flop_2sma());
+            bench.iter(|| std::hint::black_box(mapper.execute(&a, &b).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_sm_simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sm_simulator");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    let mapper = GemmMapper::new(SmaConfig::iso_flop_2sma());
+    let kernel = mapper.build_double_buffered_kernel(16).unwrap();
+    g.bench_function("double_buffered_16_ktiles", |bench| {
+        bench.iter(|| {
+            let mut sim = SmSim::new(
+                SmaConfig::iso_flop_2sma().gpu_config(),
+                SchedulerKind::SmaRoundRobin,
+            );
+            std::hint::black_box(sim.run_block(&kernel).unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn bench_hybrid_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hybrid_ops");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    let boxes: Vec<ops::ScoredBox> = (0..256)
+        .map(|i| {
+            let x = (i % 16) as f32 * 4.0;
+            let y = (i / 16) as f32 * 4.0;
+            ops::ScoredBox::new(x, y, x + 6.0, y + 6.0, 1.0 / (i + 1) as f32)
+        })
+        .collect();
+    g.bench_function("nms_256_boxes", |bench| {
+        bench.iter(|| std::hint::black_box(ops::nms(&boxes, 0.5)))
+    });
+    let feat = Matrix::<f32>::random(64, 64, 5);
+    g.bench_function("roi_align_7x7", |bench| {
+        bench.iter(|| std::hint::black_box(ops::roi_align(&feat, (4.0, 4.0, 60.0, 60.0), 7)))
+    });
+    let unary = Matrix::<f32>::random(8, 32 * 32, 6).map(f32::abs);
+    g.bench_function("crf_mean_field_32x32", |bench| {
+        bench.iter(|| std::hint::black_box(ops::crf_mean_field(&unary, 32, 32, 3, 1.0)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dataflow_engines,
+    bench_gemm_paths,
+    bench_sm_simulator,
+    bench_hybrid_ops
+);
+criterion_main!(benches);

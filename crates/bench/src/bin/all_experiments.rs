@@ -1,0 +1,67 @@
+//! Runs every figure regenerator in sequence (the full evaluation).
+
+fn main() {
+    for (name, f) in [
+        ("fig1_efficiency", run_fig1 as fn()),
+        ("fig3_hybrid", run_fig3),
+        ("fig7_isoflop", run_fig7),
+        ("fig8_isoarea", run_fig8),
+        ("fig9_autonomous", run_fig9),
+    ] {
+        println!("===== {name} =====");
+        f();
+        println!();
+    }
+}
+
+fn run_fig1() {
+    for r in sma_bench::fig1() {
+        println!(
+            "2^{:<2} TPU {:>5.1}%  TC {:>5.1}%",
+            r.log2_size,
+            r.tpu_efficiency * 100.0,
+            r.tc_efficiency * 100.0
+        );
+    }
+}
+
+fn run_fig3() {
+    for r in sma_bench::fig3() {
+        println!(
+            "{:<10} {:<5} total {:>7.1} ms (gemm {:.1} + irregular {:.1} + transfer {:.1})",
+            r.model, r.platform, r.total_ms, r.cnn_fc_ms, r.irregular_ms, r.transfer_ms
+        );
+    }
+}
+
+fn run_fig7() {
+    for r in sma_bench::fig7() {
+        println!(
+            "2^{:<2} speedup {:.2}x  eff {:>5.1}% vs {:>5.1}%  WS/SB {:.2}",
+            r.log2_size,
+            r.speedup_2sma_over_4tc,
+            r.sma_efficiency * 100.0,
+            r.tc_efficiency * 100.0,
+            r.ws_over_sb_cycles
+        );
+    }
+}
+
+fn run_fig8() {
+    for r in sma_bench::fig8() {
+        println!(
+            "{:<11} 4-TC {:.1}x  2-SMA {:.1}x  3-SMA {:.1}x  energy {:.2}/{:.2}",
+            r.network, r.speedup_4tc, r.speedup_2sma, r.speedup_3sma, r.energy_2sma,
+            r.energy_3sma
+        );
+    }
+}
+
+fn run_fig9() {
+    for r in sma_bench::fig9_left() {
+        println!("{:<5} frame {:>6.1} ms", r.platform, r.frame_ms);
+    }
+    for r in sma_bench::fig9_right() {
+        println!("N={} TC {:>5.1} SMA {:>5.1}", r.skip, r.tc_ms, r.sma_ms);
+    }
+}

@@ -1,0 +1,17 @@
+//! Experiment harness: regenerates every table and figure of the paper.
+//!
+//! Each `figN` function computes the figure's data as structured rows;
+//! the `src/bin/figN_*` binaries print them in the paper's layout (and
+//! CSV); `benches/` wraps them in Criterion for regression tracking.
+//! EXPERIMENTS.md records paper-vs-measured for every entry.
+
+#![deny(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::{
+    fig1, fig3, fig7, fig8, fig9_left, fig9_right, table1, table2, Fig1Row, Fig3Row, Fig7Row,
+    Fig8Row, Fig9LeftRow, Fig9RightRow,
+};
+pub use table::{render_table, write_csv};

@@ -1,0 +1,167 @@
+//! Kernel launches: grids of thread blocks running warp roles.
+
+use crate::program::WarpProgram;
+use crate::IsaError;
+
+/// A group of warps within a thread block that execute the same program.
+///
+/// The paper's double-buffered GEMM uses two roles per block: 32 warps
+/// loading the next `Atile`/`Btile` in SIMD mode while 32 warps compute the
+/// current tile in systolic mode, swapping every iteration (§IV-C).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WarpRole {
+    /// Human-readable role name (e.g. `"loader"`, `"computer"`).
+    pub name: String,
+    /// Number of warps executing this role per block.
+    pub warps: u32,
+    /// The program each warp runs.
+    pub program: WarpProgram,
+}
+
+impl WarpRole {
+    /// Creates a role.
+    #[must_use]
+    pub fn new(name: impl Into<String>, warps: u32, program: WarpProgram) -> Self {
+        WarpRole {
+            name: name.into(),
+            warps,
+            program,
+        }
+    }
+}
+
+/// A kernel launch: `blocks` thread blocks, each running every role.
+///
+/// # Example
+///
+/// ```
+/// use sma_isa::{Instr, Kernel, Reg, WarpProgram, WarpRole};
+///
+/// # fn main() -> Result<(), sma_isa::IsaError> {
+/// let mut b = WarpProgram::builder();
+/// b.push(Instr::ffma(Reg(1), Reg(0), Reg(0), Reg(1)));
+/// let k = Kernel::new("axpy", 80, vec![WarpRole::new("main", 8, b.build())])?;
+/// assert_eq!(k.warps_per_block(), 8);
+/// assert_eq!(k.total_dynamic_instructions(), 80 * 8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kernel {
+    name: String,
+    blocks: u32,
+    roles: Vec<WarpRole>,
+}
+
+impl Kernel {
+    /// Creates a kernel launch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::EmptyLaunch`] if `blocks` is zero, the role list
+    /// is empty, or any role has zero warps.
+    pub fn new(
+        name: impl Into<String>,
+        blocks: u32,
+        roles: Vec<WarpRole>,
+    ) -> Result<Self, IsaError> {
+        if blocks == 0 {
+            return Err(IsaError::EmptyLaunch { what: "blocks" });
+        }
+        if roles.is_empty() {
+            return Err(IsaError::EmptyLaunch { what: "warp roles" });
+        }
+        if roles.iter().any(|r| r.warps == 0) {
+            return Err(IsaError::EmptyLaunch { what: "warps in a role" });
+        }
+        Ok(Kernel {
+            name: name.into(),
+            blocks,
+            roles,
+        })
+    }
+
+    /// Kernel name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Thread blocks in the grid.
+    #[must_use]
+    pub const fn blocks(&self) -> u32 {
+        self.blocks
+    }
+
+    /// The warp roles of each block.
+    #[must_use]
+    pub fn roles(&self) -> &[WarpRole] {
+        &self.roles
+    }
+
+    /// Warps per block, summed over roles.
+    #[must_use]
+    pub fn warps_per_block(&self) -> u32 {
+        self.roles.iter().map(|r| r.warps).sum()
+    }
+
+    /// Threads per block (32 per warp).
+    #[must_use]
+    pub fn threads_per_block(&self) -> u32 {
+        self.warps_per_block() * 32
+    }
+
+    /// Dynamic instruction count across the whole grid (loop bodies
+    /// unrolled, loop-control overhead excluded).
+    #[must_use]
+    pub fn total_dynamic_instructions(&self) -> u64 {
+        let per_block: u64 = self
+            .roles
+            .iter()
+            .map(|r| u64::from(r.warps) * r.program.dynamic_instruction_count())
+            .sum();
+        per_block * u64::from(self.blocks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{Instr, Reg};
+
+    fn one_instr_program(n: u64) -> WarpProgram {
+        let mut b = WarpProgram::builder();
+        for _ in 0..n {
+            b.push(Instr::iadd(Reg(0), Reg(0), Reg(0)));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn rejects_empty_launches() {
+        assert!(matches!(
+            Kernel::new("k", 0, vec![WarpRole::new("m", 1, one_instr_program(1))]),
+            Err(IsaError::EmptyLaunch { what: "blocks" })
+        ));
+        assert!(Kernel::new("k", 1, vec![]).is_err());
+        assert!(Kernel::new("k", 1, vec![WarpRole::new("m", 0, one_instr_program(1))]).is_err());
+    }
+
+    #[test]
+    fn counts_roles_and_instructions() {
+        let k = Kernel::new(
+            "gemm",
+            4,
+            vec![
+                WarpRole::new("loader", 32, one_instr_program(10)),
+                WarpRole::new("computer", 32, one_instr_program(20)),
+            ],
+        )
+        .unwrap();
+        assert_eq!(k.warps_per_block(), 64);
+        assert_eq!(k.threads_per_block(), 2048);
+        assert_eq!(k.total_dynamic_instructions(), 4 * (32 * 10 + 32 * 20));
+        assert_eq!(k.name(), "gemm");
+        assert_eq!(k.roles().len(), 2);
+    }
+}

@@ -1,0 +1,191 @@
+//! Global-memory access coalescing.
+//!
+//! Volta-class GPUs service a warp's global access as a set of 32-byte
+//! sectors; a fully coalesced FP32 access touches 4 sectors, a fully
+//! scattered one touches 32. The sector count drives both DRAM traffic and
+//! the L1/L2 access energy, so the coalescer is the single place it is
+//! computed.
+
+/// Result of coalescing one warp-wide global access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoalesceResult {
+    /// 32-byte sectors touched.
+    pub sectors: u32,
+    /// 128-byte cache lines touched.
+    pub lines: u32,
+    /// Bytes actually requested by lanes (useful bytes).
+    pub useful_bytes: u32,
+}
+
+impl CoalesceResult {
+    /// Fraction of fetched sector bytes that lanes actually requested.
+    #[must_use]
+    pub fn efficiency(&self) -> f64 {
+        if self.sectors == 0 {
+            1.0
+        } else {
+            f64::from(self.useful_bytes) / f64::from(self.sectors * 32)
+        }
+    }
+}
+
+/// The warp coalescer.
+#[derive(Debug, Clone, Default)]
+pub struct Coalescer {
+    accesses: u64,
+    sectors: u64,
+    lines: u64,
+    useful_bytes: u64,
+}
+
+impl Coalescer {
+    /// Creates a coalescer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Coalesces one warp access of `width` bytes per lane and records it.
+    pub fn access(&mut self, lane_addresses: &[u64], width: u32) -> CoalesceResult {
+        let r = Self::probe(lane_addresses, width);
+        self.accesses += 1;
+        self.sectors += u64::from(r.sectors);
+        self.lines += u64::from(r.lines);
+        self.useful_bytes += u64::from(r.useful_bytes);
+        r
+    }
+
+    /// Coalesces without recording.
+    #[must_use]
+    pub fn probe(lane_addresses: &[u64], width: u32) -> CoalesceResult {
+        let mut sectors: Vec<u64> = Vec::with_capacity(lane_addresses.len());
+        let mut lines: Vec<u64> = Vec::with_capacity(lane_addresses.len());
+        for &addr in lane_addresses {
+            // A lane access may straddle a sector boundary when width > 1.
+            let first = addr / 32;
+            let last = (addr + u64::from(width) - 1) / 32;
+            for s in first..=last {
+                if !sectors.contains(&s) {
+                    sectors.push(s);
+                }
+                let line = s / 4;
+                if !lines.contains(&line) {
+                    lines.push(line);
+                }
+            }
+        }
+        CoalesceResult {
+            sectors: sectors.len() as u32,
+            lines: lines.len() as u32,
+            useful_bytes: lane_addresses.len() as u32 * width,
+        }
+    }
+
+    /// Number of warp accesses coalesced.
+    #[must_use]
+    pub const fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Total sectors fetched.
+    #[must_use]
+    pub const fn total_sectors(&self) -> u64 {
+        self.sectors
+    }
+
+    /// Total 128-byte lines touched.
+    #[must_use]
+    pub const fn total_lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Total bytes requested by lanes.
+    #[must_use]
+    pub const fn total_useful_bytes(&self) -> u64 {
+        self.useful_bytes
+    }
+
+    /// Aggregate fetch efficiency.
+    #[must_use]
+    pub fn efficiency(&self) -> f64 {
+        if self.sectors == 0 {
+            1.0
+        } else {
+            self.useful_bytes as f64 / (self.sectors * 32) as f64
+        }
+    }
+
+    /// Clears statistics.
+    pub fn reset_stats(&mut self) {
+        *self = Coalescer::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_stride_fp32_is_four_sectors() {
+        let addrs: Vec<u64> = (0..32).map(|i| i * 4).collect();
+        let r = Coalescer::probe(&addrs, 4);
+        assert_eq!(r.sectors, 4);
+        assert_eq!(r.lines, 1);
+        assert_eq!(r.useful_bytes, 128);
+        assert!((r.efficiency() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scattered_access_touches_32_sectors() {
+        let addrs: Vec<u64> = (0..32).map(|i| i * 4096).collect();
+        let r = Coalescer::probe(&addrs, 4);
+        assert_eq!(r.sectors, 32);
+        assert_eq!(r.lines, 32);
+        assert!((r.efficiency() - 128.0 / 1024.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stride_two_halves_efficiency() {
+        let addrs: Vec<u64> = (0..32).map(|i| i * 8).collect();
+        let r = Coalescer::probe(&addrs, 4);
+        assert_eq!(r.sectors, 8);
+        assert!((r.efficiency() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn broadcast_is_one_sector() {
+        let addrs = vec![64u64; 32];
+        let r = Coalescer::probe(&addrs, 4);
+        assert_eq!(r.sectors, 1);
+        assert_eq!(r.lines, 1);
+    }
+
+    #[test]
+    fn straddling_access_counts_both_sectors() {
+        // A 4-byte access at byte 30 straddles sectors 0 and 1.
+        let r = Coalescer::probe(&[30], 4);
+        assert_eq!(r.sectors, 2);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut c = Coalescer::new();
+        let addrs: Vec<u64> = (0..32).map(|i| i * 4).collect();
+        c.access(&addrs, 4);
+        c.access(&addrs, 4);
+        assert_eq!(c.accesses(), 2);
+        assert_eq!(c.total_sectors(), 8);
+        assert_eq!(c.total_useful_bytes(), 256);
+        c.reset_stats();
+        assert_eq!(c.accesses(), 0);
+    }
+
+    #[test]
+    fn vec4_loads_coalesce_to_same_traffic() {
+        // 8 lanes × 16 B (float4) covers the same 128 B as 32 lanes × 4 B.
+        let addrs: Vec<u64> = (0..8).map(|i| i * 16).collect();
+        let r = Coalescer::probe(&addrs, 16);
+        assert_eq!(r.sectors, 4);
+        assert_eq!(r.useful_bytes, 128);
+    }
+}

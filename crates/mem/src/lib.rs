@@ -1,0 +1,48 @@
+//! GPU memory-subsystem models for the SMA reproduction.
+//!
+//! The paper's central dataflow argument (§III-B) is about memory
+//! behaviour: systolic arrays want skewed/scattered operand feeds, SIMD
+//! substrates want coalesced vector accesses, and the semi-broadcast
+//! weight-stationary dataflow is the compromise that keeps `B`/`C` accesses
+//! coalesced while confining the uncoalesced `A` feeds to 8 dedicated
+//! shared-memory banks. Reproducing that argument honestly requires real
+//! address-level models, which this crate provides:
+//!
+//! * [`BankedMemory`] — address-level bank-conflict engine (shared memory);
+//! * [`RegisterFile`] — banked RF with the *vector access* constraint that
+//!   makes scattered accesses expensive, plus the operand-collector buffers
+//!   that SMA repurposes as weight registers (§IV-A);
+//! * [`Coalescer`] — warp global-access coalescing into 32-byte sectors;
+//! * [`Cache`] — set-associative LRU cache for L1/L2;
+//! * [`Dram`] — bandwidth/latency model;
+//! * [`MemStats`] — the access ledger consumed by the energy model.
+//!
+//! # Example
+//!
+//! ```
+//! use sma_mem::{BankedMemory, BankedConfig};
+//!
+//! let mut shared = BankedMemory::new(BankedConfig::volta_shared());
+//! // 32 consecutive FP32 words: one word per bank, conflict-free.
+//! let addrs: Vec<u64> = (0..32).map(|i| i * 4).collect();
+//! assert_eq!(shared.access(&addrs).cycles, 1);
+//! // 32 words with stride 128 bytes: all hit bank 0 -> 32-way serialised.
+//! let addrs: Vec<u64> = (0..32).map(|i| i * 128).collect();
+//! assert_eq!(shared.access(&addrs).cycles, 32);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod banked;
+pub mod cache;
+pub mod coalesce;
+pub mod dram;
+pub mod regfile;
+pub mod stats;
+
+pub use banked::{BankedConfig, BankedMemory, BankAccess};
+pub use cache::{Cache, CacheConfig, CacheOutcome};
+pub use coalesce::{CoalesceResult, Coalescer};
+pub use dram::{Dram, DramConfig};
+pub use regfile::{OperandCollector, RegFileConfig, RegisterFile, RfAccessKind};
+pub use stats::MemStats;

@@ -1,0 +1,239 @@
+//! The autonomous-driving application study (§V-C, Fig. 9).
+//!
+//! Three algorithms per frame: DETection (DeepLab-class CNN), TRAcking
+//! (GOTURN CNN) and LOCalisation (ORB-SLAM, not CNN-based). Prior work
+//! \[23\] shows detection can run every `N` frames with tracking covering
+//! the gaps. The scheduling consequences differ by architecture:
+//!
+//! * **GPU**: everything time-shares the SIMD lanes;
+//! * **TC**: DET/TRA run on the TensorCores, LOC on the SIMD lanes in
+//!   parallel — but on non-DET frames the TC area idles;
+//! * **SMA**: DET/TRA run in systolic mode; on non-DET frames the units
+//!   reconfigure to SIMD mode and accelerate LOC's parallel portion —
+//!   the dynamic reallocation only temporal integration offers.
+
+use crate::executor::Executor;
+use crate::platform::{gpu_irregular_ms, Platform};
+use serde::{Deserialize, Serialize};
+use sma_models::{zoo, LayerWork, Network};
+use sma_sim::GpuConfig;
+
+/// Latency of one algorithm on one platform, milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FrameSchedule {
+    /// Detection CNN latency with every unit in systolic mode.
+    pub det_ms: f64,
+    /// Detection latency when one unit is lent back to SIMD mode (the
+    /// *simultaneous* multi-mode split: 3-SMA runs DET on two units while
+    /// the third serves LOC).
+    pub det_split_ms: f64,
+    /// Tracking CNN latency.
+    pub tra_ms: f64,
+    /// Localisation latency (at baseline SIMD throughput).
+    pub loc_ms: f64,
+    /// Localisation latency when the SMA units join in SIMD mode.
+    pub loc_boosted_ms: f64,
+}
+
+/// The driving pipeline on one platform.
+#[derive(Debug, Clone)]
+pub struct DrivingPipeline {
+    platform: Platform,
+    schedule: FrameSchedule,
+}
+
+impl DrivingPipeline {
+    /// Builds the pipeline for a platform using the Table-II-derived
+    /// workloads: DET = DeepLab (CNN portion), TRA = GOTURN,
+    /// LOC = ORB-SLAM.
+    #[must_use]
+    pub fn new(platform: Platform) -> Self {
+        let mut exec = Executor::new(platform);
+        exec.include_postprocessing = false; // the driving stack skips CRF
+        let det = exec.run(&zoo::deeplab()).total_ms;
+        let tra = exec.run(&zoo::goturn()).total_ms;
+        let loc = Self::loc_ms(&zoo::orb_slam(), 1.0);
+        let loc_boosted = Self::loc_ms(&zoo::orb_slam(), platform.simd_mode_boost().max(1.0));
+        // The simultaneous split: 3-SMA can run detection on two units
+        // while the third serves SIMD work — detection then runs at
+        // 2-SMA speed.
+        let det_split = if platform == Platform::Sma3 {
+            let mut e2 = Executor::new(Platform::Sma2);
+            e2.include_postprocessing = false;
+            e2.run(&zoo::deeplab()).total_ms
+        } else {
+            det
+        };
+        DrivingPipeline {
+            platform,
+            schedule: FrameSchedule {
+                det_ms: det,
+                det_split_ms: det_split,
+                tra_ms: tra,
+                loc_ms: loc,
+                loc_boosted_ms: loc_boosted,
+            },
+        }
+    }
+
+    /// The platform.
+    #[must_use]
+    pub const fn platform(&self) -> Platform {
+        self.platform
+    }
+
+    /// The per-algorithm latencies.
+    #[must_use]
+    pub const fn schedule(&self) -> FrameSchedule {
+        self.schedule
+    }
+
+    fn loc_ms(net: &Network, boost: f64) -> f64 {
+        let gpu = GpuConfig::volta();
+        net.layers()
+            .iter()
+            .map(|l| match l.work() {
+                LayerWork::Irregular {
+                    flops,
+                    bytes,
+                    parallel_fraction,
+                    memory_efficiency,
+                } => gpu_irregular_ms(
+                    &gpu,
+                    flops,
+                    bytes,
+                    parallel_fraction,
+                    memory_efficiency,
+                    boost,
+                ),
+                // ORB-SLAM has no GEMM layers by construction.
+                LayerWork::Gemm(_) => 0.0,
+            })
+            .sum()
+    }
+
+    /// Fig. 9 (left): single-frame latency running all three algorithms
+    /// every frame.
+    ///
+    /// GPU/SMA run the three sequentially on the shared substrate; the TC
+    /// platform overlaps LOC (SIMD lanes) with DET+TRA (TensorCores).
+    #[must_use]
+    pub fn frame_latency_ms(&self) -> f64 {
+        let s = self.schedule;
+        match self.platform {
+            Platform::GpuTensorCore => (s.det_ms + s.tra_ms).max(s.loc_ms),
+            // 3-SMA: detection on two units overlaps LOC on the third.
+            Platform::Sma3 => s.det_split_ms.max(s.loc_ms) + s.tra_ms,
+            _ => s.det_ms + s.tra_ms + s.loc_ms,
+        }
+    }
+
+    /// Fig. 9 (right): average frame latency when detection runs every
+    /// `skip` frames and tracking covers the rest \[23\].
+    ///
+    /// On SMA, the `skip-1` non-detection frames run LOC with the units
+    /// reconfigured as extra SIMD lanes; the TC platform's tensor cores
+    /// idle on those frames, so LOC stays at baseline speed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `skip` is zero.
+    #[must_use]
+    pub fn frame_latency_skipping_ms(&self, skip: u32) -> f64 {
+        assert!(skip > 0, "skip must be at least 1");
+        let s = self.schedule;
+        let n = f64::from(skip);
+        match self.platform {
+            Platform::Sma2 | Platform::Sma3 => {
+                // DET frame: detection on the split units overlaps LOC on
+                // the remainder. Other frames: TRA + boosted LOC.
+                let det_frame = s.det_split_ms.max(s.loc_ms) + s.tra_ms;
+                let other = s.tra_ms + s.loc_boosted_ms;
+                (det_frame + (n - 1.0) * other) / n
+            }
+            Platform::GpuTensorCore => {
+                // DET frame overlaps LOC with DET+TRA; other frames the
+                // TCs run only TRA while LOC holds the SIMD lanes.
+                let det_frame = (s.det_ms + s.tra_ms).max(s.loc_ms);
+                let other = s.tra_ms.max(s.loc_ms);
+                (det_frame + (n - 1.0) * other) / n
+            }
+            _ => {
+                let det_frame = s.det_ms + s.tra_ms + s.loc_ms;
+                let other = s.tra_ms + s.loc_ms;
+                (det_frame + (n - 1.0) * other) / n
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpu_misses_target_accelerators_meet_it() {
+        // Fig. 9 (left): the GPU exceeds the 100 ms single-frame target;
+        // TC and SMA meet it.
+        let gpu = DrivingPipeline::new(Platform::GpuSimd);
+        let tc = DrivingPipeline::new(Platform::GpuTensorCore);
+        let sma = DrivingPipeline::new(Platform::Sma3);
+        assert!(
+            gpu.frame_latency_ms() > 100.0,
+            "GPU {:.1} ms",
+            gpu.frame_latency_ms()
+        );
+        assert!(tc.frame_latency_ms() < 100.0, "TC {:.1}", tc.frame_latency_ms());
+        assert!(sma.frame_latency_ms() < 100.0, "SMA {:.1}", sma.frame_latency_ms());
+    }
+
+    #[test]
+    fn skipping_reduces_latency_monotonically() {
+        for p in [Platform::GpuTensorCore, Platform::Sma3] {
+            let pipe = DrivingPipeline::new(p);
+            let mut last = f64::INFINITY;
+            for n in 1..=9 {
+                let t = pipe.frame_latency_skipping_ms(n);
+                assert!(t <= last + 1e-9, "{p}: latency must not rise with N");
+                last = t;
+            }
+        }
+    }
+
+    #[test]
+    fn sma_benefits_more_from_skipping_than_tc() {
+        // Fig. 9 (right): with N=4 the SMA frame latency drops by almost
+        // 50% relative to no skipping, and sits below the TC curve.
+        let sma = DrivingPipeline::new(Platform::Sma3);
+        let reduction =
+            1.0 - sma.frame_latency_skipping_ms(4) / sma.frame_latency_skipping_ms(1);
+        assert!(
+            (0.35..0.65).contains(&reduction),
+            "SMA N=4 reduction {reduction:.2}"
+        );
+
+        let tc = DrivingPipeline::new(Platform::GpuTensorCore);
+        for n in 2..=9 {
+            assert!(
+                sma.frame_latency_skipping_ms(n) < tc.frame_latency_skipping_ms(n),
+                "N={n}: SMA {:.1} vs TC {:.1}",
+                sma.frame_latency_skipping_ms(n),
+                tc.frame_latency_skipping_ms(n)
+            );
+        }
+    }
+
+    #[test]
+    fn loc_boost_only_on_sma() {
+        let sma = DrivingPipeline::new(Platform::Sma3).schedule();
+        assert!(sma.loc_boosted_ms < sma.loc_ms);
+        let gpu = DrivingPipeline::new(Platform::GpuSimd).schedule();
+        assert!((gpu.loc_boosted_ms - gpu.loc_ms).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "skip")]
+    fn zero_skip_panics() {
+        let _ = DrivingPipeline::new(Platform::Sma3).frame_latency_skipping_ms(0);
+    }
+}

@@ -1,0 +1,26 @@
+//! Platform runtime: maps whole networks onto the competing architectures
+//! and drives the end-to-end application study.
+//!
+//! This is where the paper's system-level comparisons are assembled:
+//!
+//! * [`Platform`] — GPU-SIMD, 4-TC, 2-SMA, 3-SMA and TPU+host;
+//! * [`Executor`] — runs a [`sma_models::Network`] on a platform,
+//!   scheduling GEMM layers on the platform's matrix engine and the
+//!   GEMM-incompatible layers where each platform can execute them
+//!   (SIMD mode for the GPU family; lowering or host-CPU fallback for the
+//!   TPU, with the transfer costs of Fig. 3);
+//! * [`autonomous`] — the autonomous-driving pipeline of §V-C
+//!   (DET/TRA/LOC with detection-frame skipping), including the dynamic
+//!   resource reallocation only temporal integration allows: on non-DET
+//!   frames the SMA units fold back into SIMD lanes and accelerate the
+//!   localisation work, while the spatially integrated TC sits idle.
+
+#![deny(missing_docs)]
+
+pub mod autonomous;
+pub mod executor;
+pub mod platform;
+
+pub use autonomous::{DrivingPipeline, FrameSchedule};
+pub use executor::{Executor, LayerProfile, NetworkProfile};
+pub use platform::Platform;

@@ -1,0 +1,216 @@
+//! Output-stationary dataflow (the third point in the design space).
+//!
+//! Partial sums never move: PE `(mr, nc)` owns `C[m0+mr][n0+nc]` for a
+//! whole pass while `A` streams east and `B` streams south, skewed so the
+//! operands for the same `k` meet at the right PE. Results shift out in an
+//! explicit drain phase at the end of the pass. The paper does not pick
+//! this dataflow — its drain stalls the array and both operand feeds are
+//! uncoalesced — but the ablation benches use it to show *why*.
+
+use crate::trace::{CDrainKind, PassTrace};
+use crate::{check_gemm_shapes, DataflowKind, GemmRun, SystolicError, SystolicGemm};
+use sma_tensor::{Matrix, Scalar};
+
+/// Functional engine for the output-stationary dataflow.
+#[derive(Debug, Clone)]
+pub struct OutputStationaryArray<T> {
+    dim: usize,
+    a_pipe: Vec<Vec<T>>,
+    b_pipe: Vec<Vec<T>>,
+    acc: Vec<Vec<T>>,
+}
+
+impl<T: Scalar> OutputStationaryArray<T> {
+    /// Creates a `dim × dim` engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    #[must_use]
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "systolic array dimension must be positive");
+        OutputStationaryArray {
+            dim,
+            a_pipe: vec![vec![T::ZERO; dim]; dim],
+            b_pipe: vec![vec![T::ZERO; dim]; dim],
+            acc: vec![vec![T::ZERO; dim]; dim],
+        }
+    }
+
+    fn run_pass(
+        &mut self,
+        a: &Matrix<T>,
+        b: &Matrix<T>,
+        c_out: &mut Matrix<T>,
+        m0: usize,
+        n0: usize,
+        trace: &mut PassTrace,
+    ) {
+        let n = self.dim;
+        let k = a.cols();
+        let m = a.rows();
+
+        for grid in [&mut self.a_pipe, &mut self.b_pipe, &mut self.acc] {
+            for row in grid.iter_mut() {
+                for v in row.iter_mut() {
+                    *v = T::ZERO;
+                }
+            }
+        }
+
+        // Operands for index kk meet at PE (mr, nc) at cycle kk + mr + nc.
+        let total_t = k + 2 * (n - 1);
+        for t in 0..total_t {
+            let mut feeds = 0u64;
+            let mut any_mac = false;
+            for mr in (0..n).rev() {
+                for nc in (0..n).rev() {
+                    let a_in = if nc == 0 {
+                        let kk = t as isize - mr as isize;
+                        if kk >= 0 && (kk as usize) < k && m0 + mr < m {
+                            feeds += 1;
+                            a[(m0 + mr, kk as usize)]
+                        } else {
+                            T::ZERO
+                        }
+                    } else {
+                        self.a_pipe[mr][nc - 1]
+                    };
+                    let b_in = if mr == 0 {
+                        let kk = t as isize - nc as isize;
+                        if kk >= 0 && (kk as usize) < k && n0 + nc < b.cols() {
+                            b[(kk as usize, n0 + nc)]
+                        } else {
+                            T::ZERO
+                        }
+                    } else {
+                        self.b_pipe[mr - 1][nc]
+                    };
+                    self.a_pipe[mr][nc] = a_in;
+                    self.b_pipe[mr][nc] = b_in;
+                    self.acc[mr][nc] = self.acc[mr][nc].mac(a_in, b_in);
+                    let kk = t as isize - mr as isize - nc as isize;
+                    if kk >= 0 && (kk as usize) < k {
+                        trace.macs += 1;
+                        any_mac = true;
+                        trace.pe_transfers += 2;
+                    }
+                }
+            }
+            if feeds > 0 {
+                trace.a_feed_events += 1;
+                trace.a_words += feeds;
+            }
+            if any_mac {
+                trace.active_cycles += 1;
+            }
+            trace.cycles += 1;
+        }
+
+        // Explicit drain phase: one row of accumulators shifts out per
+        // cycle while the array is otherwise idle.
+        for mr in 0..n {
+            if m0 + mr < c_out.rows() {
+                for nc in 0..n {
+                    if n0 + nc < c_out.cols() {
+                        c_out[(m0 + mr, n0 + nc)] += self.acc[mr][nc];
+                    }
+                }
+                trace.c_drain_events += 1;
+            }
+            trace.cycles += 1;
+        }
+        trace.passes += 1;
+    }
+}
+
+impl<T: Scalar> SystolicGemm<T> for OutputStationaryArray<T> {
+    fn kind(&self) -> DataflowKind {
+        DataflowKind::OutputStationary
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn gemm(&mut self, a: &Matrix<T>, b: &Matrix<T>) -> Result<GemmRun<T>, SystolicError> {
+        check_gemm_shapes(a, b)?;
+        let (m, _) = a.shape();
+        let n_out = b.cols();
+        let dim = self.dim;
+        let mut c = Matrix::zeros(m, n_out);
+        let mut trace = PassTrace::empty(CDrainKind::EndOfPass);
+
+        for m0 in (0..m).step_by(dim) {
+            for n0 in (0..n_out).step_by(dim) {
+                self.run_pass(a, b, &mut c, m0, n0, &mut trace);
+            }
+        }
+        Ok(GemmRun { result: c, trace })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sma_tensor::gemm;
+
+    fn verify(m: usize, k: usize, n: usize, dim: usize) -> PassTrace {
+        let a = Matrix::<f32>::random(m, k, (m + 3 * k) as u64);
+        let b = Matrix::<f32>::random(k, n, (2 * n + k) as u64);
+        let mut arr = OutputStationaryArray::new(dim);
+        let run = arr.gemm(&a, &b).unwrap();
+        let expected = gemm::reference(&a, &b).unwrap();
+        assert!(
+            run.result.approx_eq(&expected, 1e-3),
+            "mismatch for {m}x{k}x{n} on dim {dim}: err={}",
+            run.result.max_abs_diff(&expected)
+        );
+        run.trace
+    }
+
+    #[test]
+    fn exact_single_pass() {
+        let t = verify(8, 8, 8, 8);
+        assert_eq!(t.passes, 1);
+        assert_eq!(t.macs, 512);
+        // k + 2(n-1) compute + n drain cycles.
+        assert_eq!(t.cycles, (8 + 14) + 8);
+        assert_eq!(t.c_drain_events, 8);
+    }
+
+    #[test]
+    fn deep_k_single_pass_per_tile() {
+        // K streams through without weight reloads: still one pass.
+        let t = verify(8, 64, 8, 8);
+        assert_eq!(t.passes, 1);
+    }
+
+    #[test]
+    fn m_and_n_tiles_multiply_passes() {
+        let t = verify(16, 8, 24, 8);
+        assert_eq!(t.passes, 2 * 3);
+    }
+
+    #[test]
+    fn ragged_shapes() {
+        verify(13, 11, 9, 4);
+        verify(5, 2, 3, 8);
+    }
+
+    #[test]
+    fn drain_kind_is_end_of_pass() {
+        let a = Matrix::<f32>::random(8, 8, 1);
+        let b = Matrix::<f32>::random(8, 8, 2);
+        let run = OutputStationaryArray::new(8).gemm(&a, &b).unwrap();
+        assert_eq!(run.trace.c_drain_kind, CDrainKind::EndOfPass);
+    }
+
+    #[test]
+    fn integer_exactness() {
+        let a = Matrix::from_fn(9, 7, |r, c| (r * 2 + c) as i32 % 5 - 2);
+        let b = Matrix::from_fn(7, 11, |r, c| (r + c) as i32 % 3 - 1);
+        let run = OutputStationaryArray::new(4).gemm(&a, &b).unwrap();
+        assert_eq!(run.result, gemm::reference(&a, &b).unwrap());
+    }
+}

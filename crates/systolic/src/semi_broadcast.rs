@@ -1,0 +1,296 @@
+//! The paper's semi-broadcast weight-stationary dataflow (Fig. 4 right).
+//!
+//! Geometry: for an `N×N` array, PE `(r, c)` holds the stationary weight
+//! `B[c][r]` — array *columns* index the contraction dimension `k`, array
+//! *rows* index the output column `n`. Each cycle, one `A` element per
+//! array column is broadcast down that column (the same value reaches all
+//! `N` PEs), and partial sums flow west→east, so the value exiting row `r`
+//! is a finished `C[i][r]`. Crucially all `N` rows finish the *same* output
+//! row `i` on the same cycle: `C[i][0..N]` leaves as one coalesced vector.
+
+use crate::trace::{CDrainKind, PassTrace};
+use crate::{check_gemm_shapes, DataflowKind, GemmRun, SystolicError, SystolicGemm};
+use sma_tensor::{Matrix, Scalar};
+
+/// Functional engine for the semi-broadcast weight-stationary dataflow.
+///
+/// Arbitrary GEMM shapes are handled by tiling: `B` is cut into `N×N`
+/// subtiles (zero-padded at the edges); each subtile is one array pass
+/// streaming the full height of `A`.
+#[derive(Debug, Clone)]
+pub struct SemiBroadcastArray<T> {
+    dim: usize,
+    /// Stationary weights: `weights[r][c] = B[c][r]` for the current pass.
+    weights: Vec<Vec<T>>,
+    /// Pipeline registers: `psum[r][c]` latched at each cycle boundary.
+    psum: Vec<Vec<T>>,
+    /// Overlap weight loading of pass `p+1` with the drain of pass `p`
+    /// (double-buffered weight registers, as the operand collectors allow).
+    pub overlap_weight_load: bool,
+}
+
+impl<T: Scalar> SemiBroadcastArray<T> {
+    /// Creates an `dim × dim` engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    #[must_use]
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "systolic array dimension must be positive");
+        SemiBroadcastArray {
+            dim,
+            weights: vec![vec![T::ZERO; dim]; dim],
+            psum: vec![vec![T::ZERO; dim]; dim],
+            overlap_weight_load: false,
+        }
+    }
+
+    /// Runs one pass: `A` chunk (`m × n_k` with `n_k ≤ dim`) against a
+    /// zero-padded `dim × dim` slice of `B`, accumulating into `c_out`
+    /// columns `col0..col0+dim`.
+    ///
+    /// Returns the per-pass trace.
+    fn run_pass(
+        &mut self,
+        a: &Matrix<T>,
+        b_sub: &Matrix<T>,
+        c_out: &mut Matrix<T>,
+        a_col0: usize,
+        c_col0: usize,
+        trace_kind: &mut PassTrace,
+    ) {
+        let n = self.dim;
+        let m = a.rows();
+
+        // Load stationary weights: weights[r][c] = b_sub[c][r].
+        for r in 0..n {
+            for c in 0..n {
+                self.weights[r][c] = b_sub[(c, r)];
+            }
+        }
+        // Weight load occupies the array unless double-buffered.
+        if !self.overlap_weight_load {
+            trace_kind.weight_load_cycles += n as u64;
+        }
+
+        // Reset pipeline registers.
+        for row in &mut self.psum {
+            for v in row.iter_mut() {
+                *v = T::ZERO;
+            }
+        }
+
+        // Cycle loop: t = 0 .. m + n - 2. Column c is fed A[t-c][a_col0+c].
+        let total_t = m + n - 1;
+        for t in 0..total_t {
+            let mut any_mac = false;
+            let mut feeds = 0u64;
+            // Evaluate columns left to right using the *previous* cycle's
+            // psum registers: new_psum[r][c] = psum_prev[r][c-1] + a*w.
+            // Walking c from high to low lets us update in place, because
+            // column c only reads column c-1's old value.
+            for c in (0..n).rev() {
+                let i = t as isize - c as isize;
+                if i < 0 || i as usize >= m {
+                    // Bubble: every row just propagates the neighbour's
+                    // latched psum (column c-1 still holds last cycle's
+                    // value because we walk c from high to low).
+                    for r in 0..n {
+                        self.psum[r][c] = if c == 0 { T::ZERO } else { self.psum[r][c - 1] };
+                    }
+                    continue;
+                }
+                let i = i as usize;
+                let a_val = a
+                    .get(i, a_col0 + c)
+                    .copied()
+                    .unwrap_or(T::ZERO);
+                feeds += 1;
+                any_mac = true;
+                for r in 0..n {
+                    let incoming = if c == 0 { T::ZERO } else { self.psum[r][c - 1] };
+                    self.psum[r][c] = incoming.mac(a_val, self.weights[r][c]);
+                    trace_kind.pe_transfers += 1; // psum hop
+                }
+                trace_kind.macs += (n as u64) * 1;
+                trace_kind.pe_transfers += 1; // the column broadcast wire
+            }
+            if feeds > 0 {
+                trace_kind.a_feed_events += 1;
+                trace_kind.a_words += feeds;
+            }
+            if any_mac {
+                trace_kind.active_cycles += 1;
+            }
+            trace_kind.cycles += 1;
+
+            // Drain: after cycle t, the rightmost column holds the finished
+            // C row i = t - (n-1).
+            let i = t as isize - (n as isize - 1);
+            if i >= 0 && (i as usize) < m {
+                let i = i as usize;
+                for r in 0..n {
+                    if c_col0 + r < c_out.cols() {
+                        c_out[(i, c_col0 + r)] += self.psum[r][n - 1];
+                    }
+                }
+                trace_kind.c_drain_events += 1;
+            }
+        }
+        trace_kind.passes += 1;
+        if self.overlap_weight_load {
+            // Double-buffered load still costs one reconfiguration cycle.
+            trace_kind.weight_load_cycles += 1;
+        }
+    }
+}
+
+impl<T: Scalar> SystolicGemm<T> for SemiBroadcastArray<T> {
+    fn kind(&self) -> DataflowKind {
+        DataflowKind::SemiBroadcastWeightStationary
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn gemm(&mut self, a: &Matrix<T>, b: &Matrix<T>) -> Result<GemmRun<T>, SystolicError> {
+        check_gemm_shapes(a, b)?;
+        let (m, k) = a.shape();
+        let n_out = b.cols();
+        let dim = self.dim;
+        let mut c = Matrix::zeros(m, n_out);
+        let mut trace = PassTrace::empty(CDrainKind::CoalescedRow);
+
+        // Tile B into dim×dim subtiles: k-chunks are separate passes whose
+        // drains accumulate into C (the "+" adders of Fig. 4); n-chunks
+        // address different C columns.
+        for k0 in (0..k).step_by(dim) {
+            for n0 in (0..n_out).step_by(dim) {
+                let b_sub = b.block_padded(k0, n0, dim, dim);
+                self.run_pass(a, &b_sub, &mut c, k0, n0, &mut trace);
+            }
+        }
+        // Fold the non-overlapped weight-load cycles into the total.
+        trace.cycles += trace.weight_load_cycles;
+        Ok(GemmRun { result: c, trace })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sma_tensor::gemm;
+
+    fn verify(m: usize, k: usize, n: usize, dim: usize) -> PassTrace {
+        let a = Matrix::<f32>::random(m, k, (m * 31 + k) as u64);
+        let b = Matrix::<f32>::random(k, n, (n * 17 + k) as u64);
+        let mut arr = SemiBroadcastArray::new(dim);
+        let run = arr.gemm(&a, &b).unwrap();
+        let expected = gemm::reference(&a, &b).unwrap();
+        assert!(
+            run.result.approx_eq(&expected, 1e-3),
+            "mismatch for {m}x{k}x{n} on dim {dim}: err={}",
+            run.result.max_abs_diff(&expected)
+        );
+        run.trace
+    }
+
+    #[test]
+    fn exact_single_pass() {
+        // 8x8x8 on an 8x8 array: one pass.
+        let t = verify(8, 8, 8, 8);
+        assert_eq!(t.passes, 1);
+        assert_eq!(t.macs, 8 * 8 * 8);
+        assert_eq!(t.c_drain_events, 8);
+        // m + n - 1 compute cycles + n weight-load cycles.
+        assert_eq!(t.cycles, (8 + 8 - 1) + 8);
+    }
+
+    #[test]
+    fn streaming_tall_a() {
+        // The LSMA shape: 128x8 A against an 8x8 B subtile.
+        let t = verify(128, 8, 8, 8);
+        assert_eq!(t.passes, 1);
+        assert_eq!(t.c_drain_events, 128);
+        assert_eq!(t.macs, 128 * 64);
+        assert_eq!(t.cycles, (128 + 7) + 8);
+    }
+
+    #[test]
+    fn k_deeper_than_array_accumulates() {
+        let t = verify(16, 24, 8, 8);
+        assert_eq!(t.passes, 3);
+        // Each of the 3 passes drains all 16 rows.
+        assert_eq!(t.c_drain_events, 48);
+    }
+
+    #[test]
+    fn n_wider_than_array_tiles() {
+        let t = verify(8, 8, 20, 8);
+        assert_eq!(t.passes, 3); // ceil(20/8)
+    }
+
+    #[test]
+    fn ragged_everything() {
+        verify(13, 11, 9, 4);
+        verify(1, 1, 1, 8);
+        verify(5, 3, 2, 2);
+    }
+
+    #[test]
+    fn drain_kind_is_coalesced_rows() {
+        let a = Matrix::<f32>::random(8, 8, 1);
+        let b = Matrix::<f32>::random(8, 8, 2);
+        let run = SemiBroadcastArray::new(8).gemm(&a, &b).unwrap();
+        assert_eq!(run.trace.c_drain_kind, CDrainKind::CoalescedRow);
+    }
+
+    #[test]
+    fn overlapped_weight_load_is_cheaper() {
+        let a = Matrix::<f32>::random(32, 32, 3);
+        let b = Matrix::<f32>::random(32, 32, 4);
+        let mut plain = SemiBroadcastArray::new(8);
+        let mut overlapped = SemiBroadcastArray::new(8);
+        overlapped.overlap_weight_load = true;
+        let t1 = plain.gemm(&a, &b).unwrap().trace;
+        let t2 = overlapped.gemm(&a, &b).unwrap().trace;
+        assert!(t2.cycles < t1.cycles);
+        // Results identical regardless of load overlap.
+        let r1 = plain.gemm(&a, &b).unwrap().result;
+        let r2 = overlapped.gemm(&a, &b).unwrap().result;
+        assert!(r1.approx_eq(&r2, 0.0));
+    }
+
+    #[test]
+    fn a_feed_is_skewed_but_complete() {
+        let t = verify(8, 8, 8, 8);
+        // Every A element is fed exactly once per pass.
+        assert_eq!(t.a_words, 64);
+        // Feeds span the skewed window m + n - 1 = 15 cycles.
+        assert_eq!(t.a_feed_events, 15);
+    }
+
+    #[test]
+    fn integer_gemm_is_bit_exact() {
+        let a = Matrix::from_fn(12, 12, |r, c| (r + 2 * c) as i32 % 7 - 3);
+        let b = Matrix::from_fn(12, 12, |r, c| (3 * r + c) as i32 % 5 - 2);
+        let run = SemiBroadcastArray::new(8).gemm(&a, &b).unwrap();
+        let expected = gemm::reference(&a, &b).unwrap();
+        assert_eq!(run.result, expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dim_panics() {
+        let _ = SemiBroadcastArray::<f32>::new(0);
+    }
+
+    #[test]
+    fn shape_mismatch_errors() {
+        let a = Matrix::<f32>::zeros(4, 5);
+        let b = Matrix::<f32>::zeros(6, 4);
+        assert!(SemiBroadcastArray::new(8).gemm(&a, &b).is_err());
+    }
+}

@@ -1,0 +1,259 @@
+//! Classic TPU weight-stationary dataflow (Fig. 4 left).
+//!
+//! Geometry: for an `N×N` array, PE `(kr, nc)` holds the stationary weight
+//! `B[kr][nc]` — array *rows* index the contraction dimension `k`, array
+//! *columns* index the output column `n`. Activations flow west→east
+//! (row `kr` is fed `A[i][kr]`, skewed by `kr`); partial sums flow
+//! north→south and exit below row `N-1` — one element per column per
+//! cycle, each belonging to a *different* output row. On a GPU substrate
+//! that drain is a scattered read-modify-write across `N` register rows,
+//! which is precisely why the paper rejects this dataflow (§III-B).
+
+use crate::trace::{CDrainKind, PassTrace};
+use crate::{check_gemm_shapes, DataflowKind, GemmRun, SystolicError, SystolicGemm};
+use sma_tensor::{Matrix, Scalar};
+
+/// Functional engine for the classic weight-stationary dataflow.
+#[derive(Debug, Clone)]
+pub struct WeightStationaryArray<T> {
+    dim: usize,
+    /// `weights[kr][nc] = B[k0+kr][n0+nc]` for the current pass.
+    weights: Vec<Vec<T>>,
+    /// Activation pipeline registers (values moving east).
+    a_pipe: Vec<Vec<T>>,
+    /// Partial-sum pipeline registers (values moving south).
+    psum: Vec<Vec<T>>,
+    /// Overlap weight loading with computation (TPU-style weight FIFO).
+    pub overlap_weight_load: bool,
+}
+
+impl<T: Scalar> WeightStationaryArray<T> {
+    /// Creates a `dim × dim` engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    #[must_use]
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "systolic array dimension must be positive");
+        WeightStationaryArray {
+            dim,
+            weights: vec![vec![T::ZERO; dim]; dim],
+            a_pipe: vec![vec![T::ZERO; dim]; dim],
+            psum: vec![vec![T::ZERO; dim]; dim],
+            overlap_weight_load: false,
+        }
+    }
+
+    fn run_pass(
+        &mut self,
+        a: &Matrix<T>,
+        b_sub: &Matrix<T>,
+        c_out: &mut Matrix<T>,
+        k0: usize,
+        n0: usize,
+        trace: &mut PassTrace,
+    ) {
+        let n = self.dim;
+        let m = a.rows();
+
+        for kr in 0..n {
+            for nc in 0..n {
+                self.weights[kr][nc] = b_sub[(kr, nc)];
+            }
+        }
+        if !self.overlap_weight_load {
+            trace.weight_load_cycles += n as u64;
+        } else {
+            trace.weight_load_cycles += 1;
+        }
+        for grid in [&mut self.a_pipe, &mut self.psum] {
+            for row in grid.iter_mut() {
+                for v in row.iter_mut() {
+                    *v = T::ZERO;
+                }
+            }
+        }
+
+        // Contribution of A[i][k0+kr]·w[kr][nc] happens at cycle i+kr+nc;
+        // C[i][nc] exits below the array at cycle i + (n-1) + nc + 1.
+        let total_t = m + 2 * n - 2;
+        for t in 0..total_t {
+            let mut feeds = 0u64;
+            let mut any_mac = false;
+            // Update in place: walk kr and nc downward so reads of
+            // [kr-1][nc] and [kr][nc-1] still see last cycle's values.
+            for kr in (0..n).rev() {
+                for nc in (0..n).rev() {
+                    let a_in = if nc == 0 {
+                        let i = t as isize - kr as isize;
+                        if i >= 0 && (i as usize) < m {
+                            let v = a.get(i as usize, k0 + kr).copied().unwrap_or(T::ZERO);
+                            feeds += 1;
+                            v
+                        } else {
+                            T::ZERO
+                        }
+                    } else {
+                        self.a_pipe[kr][nc - 1]
+                    };
+                    let psum_in = if kr == 0 { T::ZERO } else { self.psum[kr - 1][nc] };
+                    self.a_pipe[kr][nc] = a_in;
+                    self.psum[kr][nc] = psum_in.mac(a_in, self.weights[kr][nc]);
+                    // Issued-MAC accounting: the PE is busy whenever data
+                    // is in flight through it (the skewed active window).
+                    let i = t as isize - kr as isize - nc as isize;
+                    if i >= 0 && (i as usize) < m {
+                        trace.macs += 1;
+                        any_mac = true;
+                        trace.pe_transfers += 2; // one a-hop + one psum-hop
+                    }
+                }
+            }
+            if feeds > 0 {
+                trace.a_feed_events += 1;
+                trace.a_words += feeds;
+            }
+            if any_mac {
+                trace.active_cycles += 1;
+            }
+            trace.cycles += 1;
+
+            // Drain: after cycle t, psum[n-1][nc] holds C[i][nc] for
+            // i = t - (n-1) - nc. Each cycle up to n different output rows
+            // exit simultaneously — the scattered pattern.
+            let mut drained = false;
+            for nc in 0..n {
+                let i = t as isize - (n as isize - 1) - nc as isize;
+                if i >= 0 && (i as usize) < m && n0 + nc < c_out.cols() {
+                    c_out[(i as usize, n0 + nc)] += self.psum[n - 1][nc];
+                    drained = true;
+                }
+            }
+            if drained {
+                trace.c_drain_events += 1;
+                if k0 > 0 {
+                    // Later k-chunks must read the previous partial before
+                    // accumulating — the re-injection traffic.
+                    trace.psum_reinjections += 1;
+                }
+            }
+        }
+        trace.passes += 1;
+    }
+}
+
+impl<T: Scalar> SystolicGemm<T> for WeightStationaryArray<T> {
+    fn kind(&self) -> DataflowKind {
+        DataflowKind::WeightStationary
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn gemm(&mut self, a: &Matrix<T>, b: &Matrix<T>) -> Result<GemmRun<T>, SystolicError> {
+        check_gemm_shapes(a, b)?;
+        let (m, k) = a.shape();
+        let n_out = b.cols();
+        let dim = self.dim;
+        let mut c = Matrix::zeros(m, n_out);
+        let mut trace = PassTrace::empty(CDrainKind::ScatteredColumns { rows: dim as u32 });
+
+        for k0 in (0..k).step_by(dim) {
+            for n0 in (0..n_out).step_by(dim) {
+                let b_sub = b.block_padded(k0, n0, dim, dim);
+                self.run_pass(a, &b_sub, &mut c, k0, n0, &mut trace);
+            }
+        }
+        trace.cycles += trace.weight_load_cycles;
+        Ok(GemmRun { result: c, trace })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sma_tensor::gemm;
+
+    fn verify(m: usize, k: usize, n: usize, dim: usize) -> PassTrace {
+        let a = Matrix::<f32>::random(m, k, (m * 7 + k) as u64);
+        let b = Matrix::<f32>::random(k, n, (n * 13 + k) as u64);
+        let mut arr = WeightStationaryArray::new(dim);
+        let run = arr.gemm(&a, &b).unwrap();
+        let expected = gemm::reference(&a, &b).unwrap();
+        assert!(
+            run.result.approx_eq(&expected, 1e-3),
+            "mismatch for {m}x{k}x{n} on dim {dim}: err={}",
+            run.result.max_abs_diff(&expected)
+        );
+        run.trace
+    }
+
+    #[test]
+    fn exact_single_pass() {
+        let t = verify(8, 8, 8, 8);
+        assert_eq!(t.passes, 1);
+        assert_eq!(t.macs, 512);
+        // m + 2n - 2 compute cycles + n weight load.
+        assert_eq!(t.cycles, (8 + 16 - 2) + 8);
+    }
+
+    #[test]
+    fn streaming_and_deep_k() {
+        let t = verify(64, 32, 8, 8);
+        assert_eq!(t.passes, 4);
+        // Every pass beyond the first reinjects partials on every drain.
+        assert!(t.psum_reinjections > 0);
+        assert_eq!(t.psum_reinjections, 3 * t.c_drain_events / 4);
+    }
+
+    #[test]
+    fn ragged_shapes() {
+        verify(13, 11, 9, 4);
+        verify(3, 17, 5, 8);
+        verify(1, 1, 1, 2);
+    }
+
+    #[test]
+    fn drain_is_scattered() {
+        let a = Matrix::<f32>::random(16, 8, 1);
+        let b = Matrix::<f32>::random(8, 8, 2);
+        let run = WeightStationaryArray::new(8).gemm(&a, &b).unwrap();
+        assert_eq!(
+            run.trace.c_drain_kind,
+            CDrainKind::ScatteredColumns { rows: 8 }
+        );
+    }
+
+    #[test]
+    fn ws_needs_more_cycles_than_sb_per_pass() {
+        // Same GEMM, same array size: WS pays the extra column skew on the
+        // drain path (m + 2n - 2 vs m + n - 1 per pass).
+        use crate::semi_broadcast::SemiBroadcastArray;
+        let a = Matrix::<f32>::random(128, 8, 5);
+        let b = Matrix::<f32>::random(8, 8, 6);
+        let ws = WeightStationaryArray::new(8).gemm(&a, &b).unwrap().trace;
+        let sb = SemiBroadcastArray::new(8).gemm(&a, &b).unwrap().trace;
+        assert!(ws.cycles > sb.cycles);
+    }
+
+    #[test]
+    fn integer_exactness() {
+        let a = Matrix::from_fn(10, 12, |r, c| (r * 5 + c) as i32 % 9 - 4);
+        let b = Matrix::from_fn(12, 6, |r, c| (r + c * 3) as i32 % 7 - 3);
+        let run = WeightStationaryArray::new(4).gemm(&a, &b).unwrap();
+        assert_eq!(run.result, gemm::reference(&a, &b).unwrap());
+    }
+
+    #[test]
+    fn wire_traffic_exceeds_semi_broadcast() {
+        use crate::semi_broadcast::SemiBroadcastArray;
+        let a = Matrix::<f32>::random(32, 8, 9);
+        let b = Matrix::<f32>::random(8, 8, 10);
+        let ws = WeightStationaryArray::new(8).gemm(&a, &b).unwrap().trace;
+        let sb = SemiBroadcastArray::new(8).gemm(&a, &b).unwrap().trace;
+        // WS moves both A and psums PE-to-PE; SB broadcasts A on one wire.
+        assert!(ws.pe_transfers > sb.pe_transfers);
+    }
+}

@@ -1,0 +1,314 @@
+//! Reference GEMM implementations.
+//!
+//! These are the ground truth against which the cycle-level systolic
+//! engines, the SMA GEMM mapper and the TensorCore model are all verified.
+//! `C = α·A·B + β·C` is the exact operation the paper implements on SMA
+//! ("We implement the GEMM of C = αA × B + βC", §IV-C).
+
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+use crate::TensorError;
+
+/// Dimensions of a GEMM: `C[m×n] = A[m×k] · B[k×n]`.
+///
+/// # Example
+///
+/// ```
+/// use sma_tensor::GemmShape;
+///
+/// let s = GemmShape::new(128, 128, 64);
+/// assert_eq!(s.flops(), 2 * 128 * 128 * 64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct GemmShape {
+    /// Rows of `A` and `C`.
+    pub m: usize,
+    /// Columns of `B` and `C`.
+    pub n: usize,
+    /// Columns of `A` / rows of `B` (the reduction dimension).
+    pub k: usize,
+}
+
+impl GemmShape {
+    /// Creates a shape from `(m, n, k)`.
+    #[must_use]
+    pub const fn new(m: usize, n: usize, k: usize) -> Self {
+        GemmShape { m, n, k }
+    }
+
+    /// A square `n×n×n` GEMM, as used in the paper's Fig. 1 and Fig. 7
+    /// sweeps.
+    #[must_use]
+    pub const fn square(n: usize) -> Self {
+        GemmShape { m: n, n, k: n }
+    }
+
+    /// Floating-point operations required (each MAC counts as 2 FLOPs).
+    #[must_use]
+    pub const fn flops(&self) -> u64 {
+        2 * self.m as u64 * self.n as u64 * self.k as u64
+    }
+
+    /// Total MAC operations.
+    #[must_use]
+    pub const fn macs(&self) -> u64 {
+        self.m as u64 * self.n as u64 * self.k as u64
+    }
+
+    /// Bytes touched assuming each operand is read once and `C` is
+    /// read+written once, with `elem_bytes` per element.
+    #[must_use]
+    pub const fn min_bytes(&self, elem_bytes: usize) -> u64 {
+        let a = self.m as u64 * self.k as u64;
+        let b = self.k as u64 * self.n as u64;
+        let c = self.m as u64 * self.n as u64;
+        (a + b + 2 * c) * elem_bytes as u64
+    }
+
+    /// Arithmetic intensity in FLOPs per byte at `elem_bytes` per element.
+    #[must_use]
+    pub fn arithmetic_intensity(&self, elem_bytes: usize) -> f64 {
+        self.flops() as f64 / self.min_bytes(elem_bytes) as f64
+    }
+}
+
+impl std::fmt::Display for GemmShape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}x{}", self.m, self.n, self.k)
+    }
+}
+
+fn check_shapes<T: Scalar>(
+    op: &'static str,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+) -> Result<GemmShape, TensorError> {
+    if a.cols() != b.rows() {
+        return Err(TensorError::ShapeMismatch {
+            op,
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    Ok(GemmShape::new(a.rows(), b.cols(), a.cols()))
+}
+
+/// Plain `C = A·B` via the naive triple loop.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `a.cols() != b.rows()`.
+///
+/// # Example
+///
+/// ```
+/// use sma_tensor::{gemm, Matrix};
+/// # fn main() -> Result<(), sma_tensor::TensorError> {
+/// let a = Matrix::from_fn(2, 2, |r, c| (r * 2 + c) as f32);
+/// let c = gemm::reference(&a, &Matrix::identity(2))?;
+/// assert_eq!(c, a);
+/// # Ok(())
+/// # }
+/// ```
+pub fn reference<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Result<Matrix<T>, TensorError> {
+    let shape = check_shapes("gemm::reference", a, b)?;
+    let mut c = Matrix::zeros(shape.m, shape.n);
+    gemm_into(T::ONE, a, b, T::ZERO, &mut c)?;
+    Ok(c)
+}
+
+/// Full `C = α·A·B + β·C`, accumulating into an existing `C`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the inner dimensions disagree
+/// or `C` has the wrong shape.
+pub fn gemm_into<T: Scalar>(
+    alpha: T,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    beta: T,
+    c: &mut Matrix<T>,
+) -> Result<(), TensorError> {
+    let shape = check_shapes("gemm::gemm_into", a, b)?;
+    if c.shape() != (shape.m, shape.n) {
+        return Err(TensorError::ShapeMismatch {
+            op: "gemm::gemm_into (C)",
+            lhs: c.shape(),
+            rhs: (shape.m, shape.n),
+        });
+    }
+    // i-k-j loop order: streams B rows, which is the cache-friendly order
+    // for row-major storage.
+    for i in 0..shape.m {
+        for j in 0..shape.n {
+            c[(i, j)] = beta * c[(i, j)];
+        }
+        for kk in 0..shape.k {
+            let aik = alpha * a[(i, kk)];
+            let brow = b.row(kk);
+            for j in 0..shape.n {
+                c[(i, j)] += aik * brow[j];
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Cache-blocked `C = A·B` used by the larger verification runs.
+///
+/// Identical results to [`fn@reference`] for exact scalar types; for floats the
+/// summation order differs, so compare with a tolerance.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `a.cols() != b.rows()`.
+pub fn blocked<T: Scalar>(
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    block: usize,
+) -> Result<Matrix<T>, TensorError> {
+    let shape = check_shapes("gemm::blocked", a, b)?;
+    if block == 0 {
+        return Err(TensorError::InvalidDimension {
+            what: "block",
+            value: 0,
+        });
+    }
+    let mut c: Matrix<T> = Matrix::zeros(shape.m, shape.n);
+    for i0 in (0..shape.m).step_by(block) {
+        for k0 in (0..shape.k).step_by(block) {
+            for j0 in (0..shape.n).step_by(block) {
+                let imax = (i0 + block).min(shape.m);
+                let kmax = (k0 + block).min(shape.k);
+                let jmax = (j0 + block).min(shape.n);
+                for i in i0..imax {
+                    for kk in k0..kmax {
+                        let aik = a[(i, kk)];
+                        for j in j0..jmax {
+                            c[(i, j)] += aik * b[(kk, j)];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(c)
+}
+
+/// GEMM computed entirely in FP16 storage with FP32 accumulation —
+/// the TensorCore / SMA-FP16 numeric contract (paper §IV-A).
+///
+/// `A` and `B` are quantised to binary16 before the multiply; products
+/// accumulate in `f32`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the inner dimensions disagree.
+pub fn mixed_precision_f16(
+    a: &Matrix<f32>,
+    b: &Matrix<f32>,
+) -> Result<Matrix<f32>, TensorError> {
+    use crate::f16::F16;
+    let shape = check_shapes("gemm::mixed_precision_f16", a, b)?;
+    let ah = a.map(F16::from_f32);
+    let bh = b.map(F16::from_f32);
+    let mut c = Matrix::zeros(shape.m, shape.n);
+    for i in 0..shape.m {
+        for j in 0..shape.n {
+            let mut acc = 0.0f32;
+            for kk in 0..shape.k {
+                acc += ah[(i, kk)].to_f32() * bh[(kk, j)].to_f32();
+            }
+            c[(i, j)] = acc;
+        }
+    }
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_pair() -> (Matrix<f32>, Matrix<f32>) {
+        let a = Matrix::from_fn(4, 6, |r, c| (r as f32) - 0.5 * (c as f32));
+        let b = Matrix::from_fn(6, 5, |r, c| 0.25 * (r as f32) + (c as f32));
+        (a, b)
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        let (a, _) = small_pair();
+        let c = reference(&a, &Matrix::identity(6)).unwrap();
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn shape_mismatch_is_error() {
+        let a: Matrix<f32> = Matrix::zeros(2, 3);
+        let b: Matrix<f32> = Matrix::zeros(4, 2);
+        assert!(matches!(
+            reference(&a, &b),
+            Err(TensorError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn blocked_matches_reference() {
+        let (a, b) = small_pair();
+        let c1 = reference(&a, &b).unwrap();
+        for block in [1, 2, 3, 7, 64] {
+            let c2 = blocked(&a, &b, block).unwrap();
+            assert!(c1.approx_eq(&c2, 1e-4), "block={block}");
+        }
+    }
+
+    #[test]
+    fn blocked_rejects_zero_block() {
+        let (a, b) = small_pair();
+        assert!(matches!(
+            blocked(&a, &b, 0),
+            Err(TensorError::InvalidDimension { .. })
+        ));
+    }
+
+    #[test]
+    fn gemm_into_alpha_beta() {
+        let a = Matrix::from_fn(2, 2, |r, c| (r * 2 + c) as f32 + 1.0);
+        let b = Matrix::identity(2);
+        let mut c = Matrix::from_fn(2, 2, |_, _| 10.0f32);
+        gemm_into(2.0, &a, &b, 0.5, &mut c).unwrap();
+        // C = 2*A + 0.5*10
+        assert_eq!(c[(0, 0)], 2.0 * 1.0 + 5.0);
+        assert_eq!(c[(1, 1)], 2.0 * 4.0 + 5.0);
+    }
+
+    #[test]
+    fn integer_gemm_is_exact() {
+        let a = Matrix::from_fn(3, 3, |r, c| (r + c) as i32);
+        let b = Matrix::from_fn(3, 3, |r, c| (r * 3 + c) as i32);
+        let c = reference(&a, &b).unwrap();
+        // Manually verified entry: c[0][0] = 0*0 + 1*3 + 2*6 = 15.
+        assert_eq!(c[(0, 0)], 15);
+    }
+
+    #[test]
+    fn mixed_precision_close_to_f32() {
+        let a = Matrix::random(16, 16, 1);
+        let b = Matrix::random(16, 16, 2);
+        let exact = reference(&a, &b).unwrap();
+        let mixed = mixed_precision_f16(&a, &b).unwrap();
+        // Inputs are in [-1,1); k=16 keeps the FP16 quantisation error tiny.
+        assert!(exact.approx_eq(&mixed, 2e-2));
+    }
+
+    #[test]
+    fn shape_helpers() {
+        let s = GemmShape::square(256);
+        assert_eq!(s.m, 256);
+        assert_eq!(s.flops(), 2 * 256u64.pow(3));
+        assert_eq!(s.macs(), 256u64.pow(3));
+        assert!(s.arithmetic_intensity(4) > 1.0);
+        assert_eq!(s.to_string(), "256x256x256");
+    }
+}

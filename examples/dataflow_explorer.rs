@@ -1,0 +1,83 @@
+//! Explore the systolic dataflow design space of paper §III-B: run the
+//! same GEMM through the three functional engines, compare their
+//! schedules, drain shapes and wire traffic, and verify the §III-B claim
+//! that the semi-broadcast feed is conflict-free on the 8 dedicated banks.
+//!
+//! ```sh
+//! cargo run --example dataflow_explorer
+//! ```
+
+use sma::core::LsmaOp;
+use sma::mem::{BankedConfig, BankedMemory};
+use sma::systolic::{
+    DataflowKind, OutputStationaryArray, PassTiming, SemiBroadcastArray, SystolicGemm,
+    WeightStationaryArray,
+};
+use sma::tensor::{gemm, GemmShape, Matrix};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (m, k, n) = (128usize, 16usize, 16usize);
+    let a = Matrix::<f32>::random(m, k, 21);
+    let b = Matrix::<f32>::random(k, n, 22);
+    let expected = gemm::reference(&a, &b)?;
+
+    println!("GEMM {m}x{n}x{k} on an 8x8 array, per dataflow:\n");
+    println!(
+        "  {:<6} {:>8} {:>8} {:>10} {:>12} {:>14}",
+        "flow", "cycles", "passes", "util", "PE transfers", "drain shape"
+    );
+
+    let mut run = |name: &str, result: sma::systolic::GemmRun<f32>| {
+        assert!(result.result.approx_eq(&expected, 1e-3), "{name} wrong result");
+        let t = &result.trace;
+        println!(
+            "  {:<6} {:>8} {:>8} {:>9.1}% {:>12} {:>14}",
+            name,
+            t.cycles,
+            t.passes,
+            t.utilisation(8) * 100.0,
+            t.pe_transfers,
+            format!("{:?}", t.c_drain_kind).chars().take(14).collect::<String>(),
+        );
+    };
+
+    run("SB-WS", SemiBroadcastArray::new(8).gemm(&a, &b)?);
+    run("WS", WeightStationaryArray::new(8).gemm(&a, &b)?);
+    run("OS", OutputStationaryArray::new(8).gemm(&a, &b)?);
+
+    // The analytical models match the engines cycle for cycle.
+    println!("\nAnalytical cycle models (validated against the engines):");
+    let shape = GemmShape::new(m, n, k);
+    for kind in [
+        DataflowKind::SemiBroadcastWeightStationary,
+        DataflowKind::WeightStationary,
+        DataflowKind::OutputStationary,
+    ] {
+        let model = PassTiming::new(kind, 8, false);
+        println!(
+            "  {:<6} {:>8} cycles ({:.1}% utilisation)",
+            kind.short_name(),
+            model.gemm_cycles(shape),
+            model.utilisation(shape) * 100.0
+        );
+    }
+
+    // §III-B's key property: the skewed semi-broadcast A-feed never
+    // conflicts on the unit's 8 dedicated shared-memory banks.
+    let op = LsmaOp::new(0, 0, 0, m as u32)?;
+    let mut banks = BankedMemory::new(BankedConfig::sma_a_feed_slice());
+    for t in 0..(m as u64 + 7) {
+        let addrs = op.a_feed_addresses(t, 8);
+        if !addrs.is_empty() {
+            banks.access(&addrs);
+        }
+    }
+    println!(
+        "\nA-feed on 8 banks over {} cycles: {} conflicts (serialisation {:.3}x)",
+        banks.accesses(),
+        banks.conflict_cycles(),
+        banks.serialisation_factor()
+    );
+    assert_eq!(banks.conflict_cycles(), 0);
+    Ok(())
+}

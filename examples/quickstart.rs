@@ -1,0 +1,55 @@
+//! Quickstart: run a GEMM through the SMA architecture functionally,
+//! verify it against the reference, and estimate performance and energy
+//! on the full GPU.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use sma::core::{GemmMapper, SmaConfig, SmaGemmModel};
+use sma::energy::EnergyModel;
+use sma::tensor::{gemm, GemmShape, Matrix};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. Functional execution ---------------------------------------
+    // The mapper tiles C into 128x128 blocks and drives every 8x8
+    // Bsubtile through a real semi-broadcast systolic array; values move
+    // PE to PE each cycle.
+    let a = Matrix::<f32>::random(192, 96, 7);
+    let b = Matrix::<f32>::random(96, 160, 11);
+    let mapper = GemmMapper::new(SmaConfig::iso_flop_2sma());
+    let mapped = mapper.execute(&a, &b)?;
+    let expected = gemm::reference(&a, &b)?;
+    println!(
+        "functional GEMM 192x160x96: max |err| = {:.2e} over {} LSMA ops, {} tiles",
+        mapped.result.max_abs_diff(&expected),
+        mapped.lsma_ops,
+        mapped.tiles,
+    );
+    assert!(mapped.result.approx_eq(&expected, 1e-3));
+
+    // --- 2. Performance estimate on the 80-SM GPU -----------------------
+    let shape = GemmShape::new(4096, 4096, 4096);
+    for (name, cfg) in [
+        ("2-SMA (iso-FLOP)", SmaConfig::iso_flop_2sma()),
+        ("3-SMA (iso-area)", SmaConfig::iso_area_3sma()),
+    ] {
+        let est = SmaGemmModel::new(cfg).estimate(shape);
+        println!(
+            "{name}: {shape} in {:.3} ms — {:.1} TFLOPS ({:.1}% of peak)",
+            est.time_ms,
+            est.tflops,
+            est.efficiency * 100.0
+        );
+    }
+
+    // --- 3. Energy ------------------------------------------------------
+    let est = SmaGemmModel::new(SmaConfig::iso_area_3sma()).estimate(shape);
+    let energy = EnergyModel::volta().estimate_with_runtime(&est.mem, est.sm_cycles);
+    println!(
+        "3-SMA energy for {shape}: {:.3} J ({})",
+        energy.total_joules(),
+        energy
+    );
+    Ok(())
+}
