@@ -50,8 +50,7 @@ impl CpuModel {
     /// message-passing loops, NMS's data-dependent control flow).
     #[must_use]
     pub fn irregular_ms(&self, flops: u64, bytes: u64) -> f64 {
-        let compute =
-            flops as f64 / (self.peak_gflops() * self.irregular_efficiency * 1e9) * 1e3;
+        let compute = flops as f64 / (self.peak_gflops() * self.irregular_efficiency * 1e9) * 1e3;
         let memory = bytes as f64 / (self.mem_gbps * 1e9) * 1e3;
         compute.max(memory)
     }

@@ -1,21 +1,18 @@
 //! The Volta TensorCore: functional 4×4×4 dot-product GEMM and the 4-TC
 //! analytical model.
 
-use sma_core::model::{GemmEstimate, LAUNCH_OVERHEAD_CYCLES, L2_REUSE_DRAM_FACTOR,
-    TC_TB_OVERHEAD_CYCLES};
+use sma_core::model::{
+    GemmEstimate, L2_REUSE_DRAM_FACTOR, LAUNCH_OVERHEAD_CYCLES, TC_TB_OVERHEAD_CYCLES,
+};
 use sma_mem::MemStats;
 use sma_sim::{calib, GpuConfig};
-use sma_tensor::{F16, GemmShape, Matrix, TensorError, TileConfig};
+use sma_tensor::{GemmShape, Matrix, TensorError, TileConfig, F16};
 
 /// One 4×4×4 HMMA step: `D = A·B + C` with FP16 operands and FP32
 /// accumulation — the primitive of the reverse-engineered TC pipeline
 /// (Raihan et al., cited as \[20\]).
 #[must_use]
-pub fn hmma_step(
-    a: &[[F16; 4]; 4],
-    b: &[[F16; 4]; 4],
-    c: &[[f32; 4]; 4],
-) -> [[f32; 4]; 4] {
+pub fn hmma_step(a: &[[F16; 4]; 4], b: &[[F16; 4]; 4], c: &[[f32; 4]; 4]) -> [[f32; 4]; 4] {
     let mut d = [[0.0f32; 4]; 4];
     for i in 0..4 {
         for j in 0..4 {
@@ -117,8 +114,7 @@ impl TcGemmModel {
         let blocks = walk.blocks() as u64;
         let k_tiles = walk.k_tiles() as u64;
 
-        let macs_per_ktile =
-            (self.tile.block_m * self.tile.block_n * self.tile.block_k) as f64;
+        let macs_per_ktile = (self.tile.block_m * self.tile.block_n * self.tile.block_k) as f64;
         let rate = self.peak_macs_per_sm_cycle() * calib::TC_GEMM_PEAK_FRACTION;
         let per_ktile = (macs_per_ktile / rate).ceil() as u64;
         let per_tb = k_tiles * per_ktile + TC_TB_OVERHEAD_CYCLES;
@@ -159,8 +155,7 @@ impl TcGemmModel {
         GemmEstimate {
             cycles,
             time_ms: time_s * 1e3,
-            efficiency: useful
-                / (cycles as f64 * self.peak_macs_per_sm_cycle() * active as f64),
+            efficiency: useful / (cycles as f64 * self.peak_macs_per_sm_cycle() * active as f64),
             tflops: 2.0 * useful / time_s / 1e12,
             mem,
             sm_cycles: cycles * active,

@@ -123,14 +123,12 @@ impl TpuSim {
         let mem_floor = (bytes / self.config.mem_bytes_per_cycle).ceil() as u64;
 
         let cycles = compute.max(mem_floor);
-        let time_s =
-            cycles as f64 / (self.config.clock_ghz * 1e9) + self.config.dispatch_us * 1e-6;
+        let time_s = cycles as f64 / (self.config.clock_ghz * 1e9) + self.config.dispatch_us * 1e-6;
         let peak_macs = (d * d) as f64;
         TpuEstimate {
             cycles,
             time_ms: time_s * 1e3,
-            efficiency: shape.macs() as f64
-                / ((time_s * self.config.clock_ghz * 1e9) * peak_macs),
+            efficiency: shape.macs() as f64 / ((time_s * self.config.clock_ghz * 1e9) * peak_macs),
         }
     }
 

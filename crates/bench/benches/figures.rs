@@ -22,9 +22,7 @@ fn bench_figures(c: &mut Criterion) {
         b.iter(|| std::hint::black_box(sma_bench::fig8()))
     });
     g.bench_function("fig9_autonomous_driving", |b| {
-        b.iter(|| {
-            std::hint::black_box((sma_bench::fig9_left(), sma_bench::fig9_right()))
-        })
+        b.iter(|| std::hint::black_box((sma_bench::fig9_left(), sma_bench::fig9_right())))
     });
     g.bench_function("table1_table2", |b| {
         b.iter(|| std::hint::black_box((sma_bench::table1(), sma_bench::table2())))

@@ -51,8 +51,7 @@ fn run_fig8() {
     for r in sma_bench::fig8() {
         println!(
             "{:<11} 4-TC {:.1}x  2-SMA {:.1}x  3-SMA {:.1}x  energy {:.2}/{:.2}",
-            r.network, r.speedup_4tc, r.speedup_2sma, r.speedup_3sma, r.energy_2sma,
-            r.energy_3sma
+            r.network, r.speedup_4tc, r.speedup_2sma, r.speedup_3sma, r.energy_2sma, r.energy_3sma
         );
     }
 }

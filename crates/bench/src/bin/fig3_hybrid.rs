@@ -8,7 +8,10 @@ fn main() {
         .into_iter()
         .map(|(n, c)| vec![n, c.to_string()])
         .collect();
-    print!("{}", sma_bench::render_table(&["network", "conv layers"], &t2));
+    print!(
+        "{}",
+        sma_bench::render_table(&["network", "conv layers"], &t2)
+    );
 
     println!("\nFig. 3 — TPU vs GPU for Mask R-CNN and DeepLab\n");
     let rows: Vec<Vec<String>> = sma_bench::fig3()
@@ -24,7 +27,14 @@ fn main() {
             ]
         })
         .collect();
-    let headers = ["model", "platform", "CNN&FC ms", "irregular ms", "transfer ms", "total ms"];
+    let headers = [
+        "model",
+        "platform",
+        "CNN&FC ms",
+        "irregular ms",
+        "transfer ms",
+        "total ms",
+    ];
     print!("{}", sma_bench::render_table(&headers, &rows));
     let _ = sma_bench::write_csv("fig3", &headers, &rows);
 }

@@ -59,11 +59,13 @@ pub struct Fig3Row {
 #[must_use]
 pub fn fig3() -> Vec<Fig3Row> {
     let mut rows = Vec::new();
-    for (model, net) in [("Mask R-CNN", zoo::mask_rcnn()), ("DeepLab", zoo::deeplab())] {
+    for (model, net) in [
+        ("Mask R-CNN", zoo::mask_rcnn()),
+        ("DeepLab", zoo::deeplab()),
+    ] {
         for platform in [Platform::GpuSimd, Platform::TpuHost] {
-            let mut exec = Executor::new(platform);
             // Fig. 3 separates the CRF; the TPU still pays its hand-off.
-            exec.include_postprocessing = false;
+            let exec = Executor::builder(platform).postprocessing(false).build();
             let p = exec.run(&net);
             rows.push(Fig3Row {
                 model,
@@ -76,21 +78,16 @@ pub fn fig3() -> Vec<Fig3Row> {
         }
     }
     // CRF: GPU vs single-core CPU.
-    use sma_models::{Layer, LayerWork};
-    let crf = Layer::Crf { pixels: 513 * 513, classes: 21, iterations: 10 };
-    let LayerWork::Irregular { flops, bytes, parallel_fraction, memory_efficiency } = crf.work()
-    else {
-        unreachable!("crf is irregular")
+    use sma_models::Layer;
+    use sma_runtime::IrregularWork;
+    let crf = Layer::Crf {
+        pixels: 513 * 513,
+        classes: 21,
+        iterations: 10,
     };
-    let gpu_ms = sma_runtime::platform::gpu_irregular_ms(
-        &GpuConfig::volta(),
-        flops,
-        bytes,
-        parallel_fraction,
-        memory_efficiency,
-        1.0,
-    );
-    let cpu_ms = sma_accel::CpuModel::xeon_core().irregular_ms(flops, bytes);
+    let work = IrregularWork::from_layer(&crf).expect("crf is irregular");
+    let gpu_ms = Platform::GpuSimd.backend().irregular(work).time_ms;
+    let cpu_ms = sma_accel::CpuModel::xeon_core().irregular_ms(work.flops, work.bytes);
     rows.push(Fig3Row {
         model: "CRF",
         platform: "GPU",
@@ -368,7 +365,13 @@ mod tests {
         let right = fig9_right();
         assert_eq!(right.len(), 8);
         for r in &right {
-            assert!(r.sma_ms <= r.tc_ms, "N={}: {} vs {}", r.skip, r.sma_ms, r.tc_ms);
+            assert!(
+                r.sma_ms <= r.tc_ms,
+                "N={}: {} vs {}",
+                r.skip,
+                r.sma_ms,
+                r.tc_ms
+            );
         }
     }
 

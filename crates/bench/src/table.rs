@@ -70,10 +70,7 @@ mod tests {
 
     #[test]
     fn table_aligns_columns() {
-        let t = render_table(
-            &["a", "long-header"],
-            &[vec!["xxxx".into(), "1".into()]],
-        );
+        let t = render_table(&["a", "long-header"], &[vec!["xxxx".into(), "1".into()]]);
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 3);
         assert!(lines[0].contains("long-header"));

@@ -108,8 +108,7 @@ impl GemmMapper {
             let mut csub = Matrix::zeros(self.tile.block_m, self.tile.block_n);
             for k0 in (0..shape.k).step_by(self.tile.block_k) {
                 // Atile: block_m × block_k slice of A (zero-padded).
-                let a_tile =
-                    a.block_padded(block.row0, k0, self.tile.block_m, self.tile.block_k);
+                let a_tile = a.block_padded(block.row0, k0, self.tile.block_m, self.tile.block_k);
                 // Btile: block_k × block_n slice of B.
                 for (si, n0) in (0..self.tile.block_n).step_by(dim).enumerate() {
                     let b_sub = b.block_padded(k0, block.col0 + n0, dim, dim);
@@ -134,9 +133,8 @@ impl GemmMapper {
             c.accumulate_block(block.row0, block.col0, &csub);
         }
 
-        let trace = trace.unwrap_or_else(|| {
-            PassTrace::empty(sma_systolic::CDrainKind::CoalescedRow)
-        });
+        let trace =
+            trace.unwrap_or_else(|| PassTrace::empty(sma_systolic::CDrainKind::CoalescedRow));
         Ok(MappedGemm {
             result: c,
             trace,
@@ -157,10 +155,7 @@ impl GemmMapper {
     /// # Errors
     ///
     /// Propagates [`sma_isa::IsaError`] for degenerate launches.
-    pub fn build_double_buffered_kernel(
-        &self,
-        k_iters: u32,
-    ) -> Result<Kernel, sma_isa::IsaError> {
+    pub fn build_double_buffered_kernel(&self, k_iters: u32) -> Result<Kernel, sma_isa::IsaError> {
         let m = self.tile.block_m as u64; // 128-row stream per LSMA
         let n_lsma = self.lsma_per_btile() as u32;
         let units = self.cfg.units.max(1);
@@ -259,7 +254,9 @@ mod tests {
         let a = Matrix::<f32>::random(64, 16, 5);
         let b = Matrix::<f32>::random(16, 32, 6);
         let out = mapper.execute(&a, &b).unwrap();
-        assert!(out.result.approx_eq(&gemm::reference(&a, &b).unwrap(), 1e-3));
+        assert!(out
+            .result
+            .approx_eq(&gemm::reference(&a, &b).unwrap(), 1e-3));
     }
 
     #[test]

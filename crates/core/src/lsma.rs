@@ -68,7 +68,7 @@ impl LsmaOp {
                 reason: "unit id exceeds the 3 units per SM",
             });
         }
-        if a_base % 4 != 0 {
+        if !a_base.is_multiple_of(4) {
             return Err(SmaError::InvalidLsma {
                 reason: "A base address must be word aligned",
             });
@@ -138,7 +138,12 @@ impl LsmaOp {
     /// `LSMA` or fails validation.
     pub fn decode(instr: &Instr) -> Result<Self, SmaError> {
         match instr {
-            Instr::Lsma { unit, a_base, c_base, k } => Self::new(*unit, *a_base, c_base.0, *k),
+            Instr::Lsma {
+                unit,
+                a_base,
+                c_base,
+                k,
+            } => Self::new(*unit, *a_base, c_base.0, *k),
             _ => Err(SmaError::InvalidLsma {
                 reason: "not an lsma instruction",
             }),

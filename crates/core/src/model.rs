@@ -163,8 +163,7 @@ impl SmaGemmModel {
         let elem = if self.cfg.fp16 { 2 } else { 4 };
         // DRAM is a GPU-wide resource; traffic is compulsory bytes times
         // the L2 reuse factor (tile re-reads mostly hit in L2).
-        let dram_bytes =
-            (shape.min_bytes(elem) as f64 * L2_REUSE_DRAM_FACTOR) as u64;
+        let dram_bytes = (shape.min_bytes(elem) as f64 * L2_REUSE_DRAM_FACTOR) as u64;
         let full_bw = self.gpu.dram_bytes_per_cycle_per_sm * f64::from(self.gpu.sms);
         let dram_floor = (dram_bytes as f64 / full_bw).ceil() as u64;
         let cycles = (waves * per_tb).max(dram_floor) + LAUNCH_OVERHEAD_CYCLES;
@@ -196,8 +195,7 @@ impl SmaGemmModel {
         m.shared_reads = blocks * feed_groups * stream;
         // WS re-injection stages partials through shared memory.
         if self.cfg.dataflow == DataflowKind::WeightStationary && k_tiles > 1 {
-            let reinject = blocks * (total_passes_per_tb - total_passes_per_tb / k_tiles)
-                * stream;
+            let reinject = blocks * (total_passes_per_tb - total_passes_per_tb / k_tiles) * stream;
             m.shared_reads += reinject;
             m.shared_writes += reinject;
             m.shared_conflict_cycles += blocks * total_passes_per_tb * 32;
@@ -220,8 +218,7 @@ impl SmaGemmModel {
         m.pe_transfers = walk.issued_macs() + walk.issued_macs() / u64::from(self.cfg.dim);
         // Instructions: loaders ≈7/warp/k-slice ×32 warps; computers:
         // passes + syncs.
-        m.instructions = blocks
-            * (k_tiles * (7 * 32) + total_passes_per_tb + k_tiles * 2 + 64);
+        m.instructions = blocks * (k_tiles * (7 * 32) + total_passes_per_tb + k_tiles * 2 + 64);
         m.alu_ops = blocks * k_tiles * 4 * 32 * 32;
         m
     }
@@ -259,8 +256,7 @@ impl SimdGemmModel {
         let k_tiles = walk.k_tiles() as u64;
 
         // Per k-slice per TB: 128×128×8 MACs at 64 lanes × 0.63.
-        let macs_per_ktile =
-            (self.tile.block_m * self.tile.block_n * self.tile.block_k) as f64;
+        let macs_per_ktile = (self.tile.block_m * self.tile.block_n * self.tile.block_k) as f64;
         let eff_rate = self.gpu.fp32_lanes as f64 * sma_sim::calib::SIMD_GEMM_PEAK_FRACTION;
         let per_ktile = (macs_per_ktile / eff_rate).ceil() as u64;
         let per_tb = k_tiles * per_ktile + SIMD_TB_OVERHEAD_CYCLES;
@@ -279,8 +275,8 @@ impl SimdGemmModel {
         m.rf_reads = ffma_ops * 3;
         m.rf_writes = ffma_ops;
         // 16 shared loads per 64 FMAs per thread (8×8 register blocking).
-        m.shared_reads = (walk.issued_macs() as f64 * sma_sim::calib::SIMD_LDS_PER_FMA
-            / 32.0) as u64;
+        m.shared_reads =
+            (walk.issued_macs() as f64 * sma_sim::calib::SIMD_LDS_PER_FMA / 32.0) as u64;
         let tile_elems = (self.tile.block_k * (self.tile.block_m + self.tile.block_n)) as u64;
         m.shared_writes = blocks * k_tiles * tile_elems / 32;
         m.dram_bytes = dram_bytes;
@@ -288,10 +284,10 @@ impl SimdGemmModel {
         m.l1_misses = tile_bytes / 128;
         m.l2_hits = (tile_bytes - dram_bytes.min(tile_bytes)) / 128;
         m.l2_misses = dram_bytes / 128;
-        m.instructions =
-            (ffma_ops as f64 * (1.0 + sma_sim::calib::SIMD_INNER_OVERHEAD_PER_FMA)) as u64
-                + m.shared_reads
-                + m.shared_writes;
+        m.instructions = (ffma_ops as f64 * (1.0 + sma_sim::calib::SIMD_INNER_OVERHEAD_PER_FMA))
+            as u64
+            + m.shared_reads
+            + m.shared_writes;
         m.alu_ops = (ffma_ops as f64 * sma_sim::calib::SIMD_INNER_OVERHEAD_PER_FMA) as u64 * 32;
 
         let peak = f64::from(self.gpu.fp32_lanes);
@@ -362,10 +358,7 @@ mod tests {
         for p in 7..=13u32 {
             let n = 1usize << p;
             let r = ws.estimate(sq(n)).cycles as f64 / sb.estimate(sq(n)).cycles as f64;
-            assert!(
-                r > 1.15 && r < 1.45,
-                "size 2^{p}: WS/SB ratio {r:.3}"
-            );
+            assert!(r > 1.15 && r < 1.45, "size 2^{p}: WS/SB ratio {r:.3}");
         }
     }
 

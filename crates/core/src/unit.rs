@@ -8,10 +8,10 @@
 //! integration with "zero switching overhead" (§III-A; we charge one cycle
 //! to be conservative).
 
-use crate::{SmaError, SmaConfig};
+use crate::{SmaConfig, SmaError};
 use sma_mem::regfile::OperandCollector;
 use sma_systolic::{
-    DataflowKind, SemiBroadcastArray, SystolicGemm, WeightStationaryArray, PassTrace,
+    DataflowKind, PassTrace, SemiBroadcastArray, SystolicGemm, WeightStationaryArray,
 };
 use sma_tensor::Matrix;
 

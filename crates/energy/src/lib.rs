@@ -224,8 +224,8 @@ impl EnergyModel {
         let l1 = (stats.l1_hits + stats.l1_misses) as f64 * t.l1_access_pj;
         let l2 = (stats.l2_hits + stats.l2_misses) as f64 * t.l2_access_pj;
         let dram = stats.dram_bytes as f64 * t.dram_per_byte_pj;
-        let shared = (stats.shared_accesses() + stats.shared_conflict_cycles) as f64
-            * t.shared_access_pj;
+        let shared =
+            (stats.shared_accesses() + stats.shared_conflict_cycles) as f64 * t.shared_access_pj;
         let register = stats.rf_accesses() as f64 * t.rf_access_pj;
         let pe = stats.total_macs() as f64 * mac_pj
             + stats.alu_ops as f64 * t.alu_pj
@@ -252,6 +252,7 @@ impl EnergyModel {
 }
 
 #[cfg(test)]
+#[allow(clippy::field_reassign_with_default)] // ledgers read best built up
 mod tests {
     use super::*;
 
@@ -341,8 +342,14 @@ mod tests {
     #[test]
     fn sum_and_display() {
         let parts = vec![
-            EnergyBreakdown { global: 1.0, ..Default::default() },
-            EnergyBreakdown { pe: 2.0, ..Default::default() },
+            EnergyBreakdown {
+                global: 1.0,
+                ..Default::default()
+            },
+            EnergyBreakdown {
+                pe: 2.0,
+                ..Default::default()
+            },
         ];
         let s: EnergyBreakdown = parts.into_iter().sum();
         assert_eq!(s.total(), 3.0);

@@ -127,7 +127,13 @@ impl AddressPattern {
             }
             AddressPattern::Broadcast(addr) => out = [*addr; 32],
             AddressPattern::Explicit(addrs) => out = **addrs,
-            AddressPattern::Affine { base, a, b, m, width } => {
+            AddressPattern::Affine {
+                base,
+                a,
+                b,
+                m,
+                width,
+            } => {
                 for (i, slot) in out.iter_mut().enumerate() {
                     let idx = (i as u64 * u64::from(*a) + u64::from(*b)) % u64::from(*m);
                     *slot = base + idx * u64::from(*width);
@@ -362,14 +368,23 @@ impl fmt::Display for Instr {
                 }
                 Ok(())
             }
-            Instr::Load { space, dst, width, .. } => {
+            Instr::Load {
+                space, dst, width, ..
+            } => {
                 write!(f, "LD.{space:?}.{width} {dst}")
             }
-            Instr::Store { space, src, width, .. } => {
+            Instr::Store {
+                space, src, width, ..
+            } => {
                 write!(f, "ST.{space:?}.{width} {src}")
             }
             Instr::Hmma { dst, a, b } => write!(f, "HMMA {dst}, {a}, {b}"),
-            Instr::Lsma { unit, a_base, c_base, k } => {
+            Instr::Lsma {
+                unit,
+                a_base,
+                c_base,
+                k,
+            } => {
                 write!(f, "LSMA u{unit}, A@{a_base:#x}, {c_base}, k={k}")
             }
             Instr::Bar { id } => write!(f, "BAR.SYNC {id}"),
@@ -428,16 +443,31 @@ mod tests {
         assert_eq!(Instr::ffma(Reg(0), Reg(1), Reg(2), Reg(0)).warp_macs(), 32);
         assert_eq!(Instr::hfma2(Reg(0), Reg(1), Reg(2), Reg(0)).warp_macs(), 64);
         assert_eq!(
-            Instr::Hmma { dst: Reg(0), a: Reg(1), b: Reg(2) }.warp_macs(),
+            Instr::Hmma {
+                dst: Reg(0),
+                a: Reg(1),
+                b: Reg(2)
+            }
+            .warp_macs(),
             64
         );
-        let lsma = Instr::Lsma { unit: 0, a_base: 0, c_base: Reg(0), k: 128 };
+        let lsma = Instr::Lsma {
+            unit: 0,
+            a_base: 0,
+            c_base: Reg(0),
+            k: 128,
+        };
         assert_eq!(lsma.warp_macs(), 128 * 64);
     }
 
     #[test]
     fn display_forms() {
-        let lsma = Instr::Lsma { unit: 1, a_base: 0x80, c_base: Reg(8), k: 16 };
+        let lsma = Instr::Lsma {
+            unit: 1,
+            a_base: 0x80,
+            c_base: Reg(8),
+            k: 16,
+        };
         assert_eq!(lsma.to_string(), "LSMA u1, A@0x80, r8, k=16");
         assert_eq!(Instr::Bar { id: 0 }.to_string(), "BAR.SYNC 0");
     }

@@ -72,7 +72,9 @@ impl Kernel {
             return Err(IsaError::EmptyLaunch { what: "warp roles" });
         }
         if roles.iter().any(|r| r.warps == 0) {
-            return Err(IsaError::EmptyLaunch { what: "warps in a role" });
+            return Err(IsaError::EmptyLaunch {
+                what: "warps in a role",
+            });
         }
         Ok(Kernel {
             name: name.into(),

@@ -137,7 +137,12 @@ impl BankedMemory {
                 counts[bank].push(word);
             }
         }
-        counts.iter().map(|w| w.len() as u32).max().unwrap_or(1).max(1)
+        counts
+            .iter()
+            .map(|w| w.len() as u32)
+            .max()
+            .unwrap_or(1)
+            .max(1)
     }
 
     /// Number of warp accesses presented so far.
@@ -271,7 +276,11 @@ mod tests {
         // Column c reads A[t-c][c] at byte (t-c)*32 + c*4.
         let t = 9u64;
         let addrs: Vec<u64> = (0..8).map(|c| (t - c) * 32 + c * 4).collect();
-        assert_eq!(m.access(&addrs).cycles, 1, "semi-broadcast feed is conflict-free");
+        assert_eq!(
+            m.access(&addrs).cycles,
+            1,
+            "semi-broadcast feed is conflict-free"
+        );
     }
 
     #[test]

@@ -74,10 +74,27 @@ impl Coalescer {
                 }
             }
         }
+        // Useful bytes are the *distinct* bytes lanes requested: lanes may
+        // overlap (broadcasts, sub-width strides), and a byte fetched once
+        // is useful once — otherwise efficiency could exceed 1.
+        let mut ranges: Vec<(u64, u64)> = lane_addresses
+            .iter()
+            .map(|&a| (a, a + u64::from(width)))
+            .collect();
+        ranges.sort_unstable();
+        let mut useful = 0u64;
+        let mut covered_to = 0u64;
+        for (start, end) in ranges {
+            let from = start.max(covered_to);
+            if end > from {
+                useful += end - from;
+                covered_to = end;
+            }
+        }
         CoalesceResult {
             sectors: sectors.len() as u32,
             lines: lines.len() as u32,
-            useful_bytes: lane_addresses.len() as u32 * width,
+            useful_bytes: useful as u32,
         }
     }
 
@@ -178,6 +195,21 @@ mod tests {
         assert_eq!(c.total_useful_bytes(), 256);
         c.reset_stats();
         assert_eq!(c.accesses(), 0);
+    }
+
+    #[test]
+    fn overlapping_lanes_do_not_double_count_useful_bytes() {
+        // Broadcast: 32 lanes request the same 4 bytes — 4 useful bytes,
+        // not 128, and efficiency stays physical.
+        let r = Coalescer::probe(&vec![64u64; 32], 4);
+        assert_eq!(r.useful_bytes, 4);
+        assert!(r.efficiency() <= 1.0);
+        // Stride 2 under a 4-byte width: consecutive lanes overlap by
+        // two bytes; the union is 31 * 2 + 4 bytes.
+        let addrs: Vec<u64> = (0..32).map(|i| i * 2).collect();
+        let r = Coalescer::probe(&addrs, 4);
+        assert_eq!(r.useful_bytes, 31 * 2 + 4);
+        assert!(r.efficiency() <= 1.0);
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub mod dram;
 pub mod regfile;
 pub mod stats;
 
-pub use banked::{BankedConfig, BankedMemory, BankAccess};
+pub use banked::{BankAccess, BankedConfig, BankedMemory};
 pub use cache::{Cache, CacheConfig, CacheOutcome};
 pub use coalesce::{CoalesceResult, Coalescer};
 pub use dram::{Dram, DramConfig};

@@ -136,7 +136,11 @@ impl Layer {
                 out_features,
                 batch,
             } => LayerWork::Gemm(GemmShape::new(batch, out_features, in_features)),
-            Layer::Pool { input, window, stride } => {
+            Layer::Pool {
+                input,
+                window,
+                stride,
+            } => {
                 let out_h = (input.h - window) / stride + 1;
                 let out_w = (input.w - window) / stride + 1;
                 let elems = (input.c * out_h * out_w) as u64;
@@ -147,7 +151,11 @@ impl Layer {
                     memory_efficiency: 0.8,
                 }
             }
-            Layer::RoiAlign { rois, pooled, channels } => {
+            Layer::RoiAlign {
+                rois,
+                pooled,
+                channels,
+            } => {
                 // 4 bilinear taps × ~8 flops per output bin-channel, plus
                 // heavy gather traffic.
                 let bins = (rois * pooled * pooled * channels) as u64;
@@ -175,7 +183,11 @@ impl Layer {
                 parallel_fraction: 1.0,
                 memory_efficiency: 0.8,
             },
-            Layer::Crf { pixels, classes, iterations } => {
+            Layer::Crf {
+                pixels,
+                classes,
+                iterations,
+            } => {
                 // Dense-CRF mean-field with bilateral (permutohedral)
                 // filtering: the lattice traffic, not the arithmetic,
                 // dominates — ~30 gather/scatter touches per value per
@@ -190,7 +202,10 @@ impl Layer {
                     memory_efficiency: 0.15,
                 }
             }
-            Layer::Elementwise { elems, flops_per_elem } => LayerWork::Irregular {
+            Layer::Elementwise {
+                elems,
+                flops_per_elem,
+            } => LayerWork::Irregular {
                 flops: elems * u64::from(flops_per_elem),
                 bytes: elems * 8,
                 parallel_fraction: 1.0,
@@ -281,10 +296,21 @@ mod tests {
     #[test]
     fn hybrid_ops_are_irregular() {
         for l in [
-            Layer::RoiAlign { rois: 1000, pooled: 7, channels: 256 },
+            Layer::RoiAlign {
+                rois: 1000,
+                pooled: 7,
+                channels: 256,
+            },
             Layer::Nms { boxes: 1000 },
-            Layer::ArgMax { pixels: 1 << 18, classes: 21 },
-            Layer::Crf { pixels: 1 << 18, classes: 21, iterations: 10 },
+            Layer::ArgMax {
+                pixels: 1 << 18,
+                classes: 21,
+            },
+            Layer::Crf {
+                pixels: 1 << 18,
+                classes: 21,
+                iterations: 10,
+            },
         ] {
             assert!(!l.is_gemm_compatible(), "{l:?}");
             assert!(l.flops() > 0);
@@ -297,7 +323,9 @@ mod tests {
             unreachable!()
         };
         match (Layer::Nms { boxes: 100 }).work() {
-            LayerWork::Irregular { parallel_fraction, .. } => {
+            LayerWork::Irregular {
+                parallel_fraction, ..
+            } => {
                 assert!(parallel_fraction < 0.8);
             }
             LayerWork::Gemm(_) => panic!(),
@@ -306,8 +334,18 @@ mod tests {
 
     #[test]
     fn crf_flops_scale_with_iterations() {
-        let f1 = Layer::Crf { pixels: 1000, classes: 21, iterations: 1 }.flops();
-        let f10 = Layer::Crf { pixels: 1000, classes: 21, iterations: 10 }.flops();
+        let f1 = Layer::Crf {
+            pixels: 1000,
+            classes: 21,
+            iterations: 1,
+        }
+        .flops();
+        let f10 = Layer::Crf {
+            pixels: 1000,
+            classes: 21,
+            iterations: 10,
+        }
+        .flops();
         assert_eq!(f10, 10 * f1);
     }
 }

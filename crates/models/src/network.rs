@@ -120,13 +120,17 @@ mod tests {
     #[test]
     fn flops_aggregate() {
         let n = tiny();
-        assert_eq!(n.total_flops(), n.gemm_flops() + n.irregular_work()
-            .iter()
-            .map(|w| match w {
-                LayerWork::Irregular { flops, .. } => *flops,
-                LayerWork::Gemm(_) => 0,
-            })
-            .sum::<u64>());
+        assert_eq!(
+            n.total_flops(),
+            n.gemm_flops()
+                + n.irregular_work()
+                    .iter()
+                    .map(|w| match w {
+                        LayerWork::Irregular { flops, .. } => *flops,
+                        LayerWork::Gemm(_) => 0,
+                    })
+                    .sum::<u64>()
+        );
         assert!(n.gemm_fraction() > 0.5);
     }
 

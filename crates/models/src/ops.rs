@@ -97,11 +97,7 @@ pub fn nms(boxes: &[ScoredBox], threshold: f32) -> Vec<usize> {
 /// its centre with bilinear interpolation (1 sample per bin — the
 /// simplified variant; the 4-sample variant averages four of these).
 #[must_use]
-pub fn roi_align(
-    feature: &Matrix<f32>,
-    roi: (f32, f32, f32, f32),
-    pooled: usize,
-) -> Matrix<f32> {
+pub fn roi_align(feature: &Matrix<f32>, roi: (f32, f32, f32, f32), pooled: usize) -> Matrix<f32> {
     let (x1, y1, x2, y2) = roi;
     let bin_h = (y2 - y1) / pooled as f32;
     let bin_w = (x2 - x1) / pooled as f32;
@@ -124,10 +120,7 @@ pub fn bilinear(feature: &Matrix<f32>, y: f32, x: f32) -> f32 {
         if r < 0 || c < 0 {
             0.0
         } else {
-            feature
-                .get(r as usize, c as usize)
-                .copied()
-                .unwrap_or(0.0)
+            feature.get(r as usize, c as usize).copied().unwrap_or(0.0)
         }
     };
     let (r0, c0) = (y0 as isize, x0 as isize);
@@ -195,7 +188,11 @@ pub fn crf_mean_field(
     w_pairwise: f32,
 ) -> Matrix<f32> {
     let classes = unary.rows();
-    assert_eq!(unary.cols(), height * width, "unary must be classes x pixels");
+    assert_eq!(
+        unary.cols(),
+        height * width,
+        "unary must be classes x pixels"
+    );
 
     // Q starts as softmax(-unary).
     let mut q = unary.map(|v| -v);
@@ -224,8 +221,7 @@ pub fn crf_mean_field(
                     for &(dy, dx, w) in &kernel {
                         let ny = y as i32 + dy;
                         let nx = x as i32 + dx;
-                        if ny >= 0 && nx >= 0 && (ny as usize) < height && (nx as usize) < width
-                        {
+                        if ny >= 0 && nx >= 0 && (ny as usize) < height && (nx as usize) < width {
                             acc += w * q[(c, ny as usize * width + nx as usize)];
                         }
                     }

@@ -62,9 +62,21 @@ pub fn alexnet() -> Network {
     conv(&mut l, &mut s, 256, 3, 1, 1);
     pool2(&mut l, &mut s);
     let feat = s.elements();
-    l.push(Layer::Linear { in_features: feat, out_features: 4096, batch: 1 });
-    l.push(Layer::Linear { in_features: 4096, out_features: 4096, batch: 1 });
-    l.push(Layer::Linear { in_features: 4096, out_features: 1000, batch: 1 });
+    l.push(Layer::Linear {
+        in_features: feat,
+        out_features: 4096,
+        batch: 1,
+    });
+    l.push(Layer::Linear {
+        in_features: 4096,
+        out_features: 4096,
+        batch: 1,
+    });
+    l.push(Layer::Linear {
+        in_features: 4096,
+        out_features: 1000,
+        batch: 1,
+    });
     Network::new("AlexNet", l)
 }
 
@@ -87,9 +99,21 @@ pub fn vgg_a() -> Network {
     conv(&mut l, &mut s, 512, 3, 1, 1);
     pool2(&mut l, &mut s);
     let feat = s.elements();
-    l.push(Layer::Linear { in_features: feat, out_features: 4096, batch: 1 });
-    l.push(Layer::Linear { in_features: 4096, out_features: 4096, batch: 1 });
-    l.push(Layer::Linear { in_features: 4096, out_features: 1000, batch: 1 });
+    l.push(Layer::Linear {
+        in_features: feat,
+        out_features: 4096,
+        batch: 1,
+    });
+    l.push(Layer::Linear {
+        in_features: 4096,
+        out_features: 4096,
+        batch: 1,
+    });
+    l.push(Layer::Linear {
+        in_features: 4096,
+        out_features: 1000,
+        batch: 1,
+    });
     Network::new("VGG-A", l)
 }
 
@@ -139,7 +163,11 @@ pub fn googlenet() -> Network {
     pool2(&mut l, &mut s);
     s = inception(&mut l, &s, 256, 160, 320, 32, 128, 128);
     s = inception(&mut l, &s, 384, 192, 384, 48, 128, 128);
-    l.push(Layer::Linear { in_features: s.c, out_features: 1000, batch: 1 });
+    l.push(Layer::Linear {
+        in_features: s.c,
+        out_features: 1000,
+        batch: 1,
+    });
     Network::new("GoogLeNet", l)
 }
 
@@ -237,20 +265,43 @@ pub fn mask_rcnn() -> Network {
     l.push(Layer::Nms { boxes: 1000 });
 
     // Detection branch: RoIAlign 7×7 + 2-layer FC head + predictors.
-    l.push(Layer::RoiAlign { rois: 1000, pooled: 7, channels: 256 });
-    l.push(Layer::Linear { in_features: 256 * 7 * 7, out_features: 1024, batch: 1000 });
-    l.push(Layer::Linear { in_features: 1024, out_features: 1024, batch: 1000 });
-    l.push(Layer::Linear { in_features: 1024, out_features: 81 * 5, batch: 1000 });
+    l.push(Layer::RoiAlign {
+        rois: 1000,
+        pooled: 7,
+        channels: 256,
+    });
+    l.push(Layer::Linear {
+        in_features: 256 * 7 * 7,
+        out_features: 1024,
+        batch: 1000,
+    });
+    l.push(Layer::Linear {
+        in_features: 1024,
+        out_features: 1024,
+        batch: 1000,
+    });
+    l.push(Layer::Linear {
+        in_features: 1024,
+        out_features: 81 * 5,
+        batch: 1000,
+    });
     l.push(Layer::Nms { boxes: 1000 }); // per-class result NMS
 
     // Mask branch: RoIAlign 14×14 + 4 convs + predictor (the deconv is
     // the elementwise upsample).
-    l.push(Layer::RoiAlign { rois: 100, pooled: 14, channels: 256 });
+    l.push(Layer::RoiAlign {
+        rois: 100,
+        pooled: 14,
+        channels: 256,
+    });
     let mut ms = TensorShape::new(256, 14, 14);
     for _ in 0..4 {
         conv(&mut l, &mut ms, 256, 3, 1, 1);
     }
-    l.push(Layer::Elementwise { elems: (256 * 28 * 28) as u64, flops_per_elem: 8 });
+    l.push(Layer::Elementwise {
+        elems: (256 * 28 * 28) as u64,
+        flops_per_elem: 8,
+    });
     let mut mp = TensorShape::new(256, 28, 28);
     conv(&mut l, &mut mp, 81, 1, 1, 0);
     Network::new("Mask R-CNN", l)
@@ -271,9 +322,19 @@ pub fn deeplab() -> Network {
         conv_dilated(&mut l, &mut b, 21, 3, 1, d, d);
     }
     // Fuse + bilinear upsample to full resolution.
-    l.push(Layer::Elementwise { elems: (21 * 513 * 513) as u64, flops_per_elem: 8 });
-    l.push(Layer::ArgMax { pixels: 513 * 513, classes: 21 });
-    l.push(Layer::Crf { pixels: 513 * 513, classes: 21, iterations: 10 });
+    l.push(Layer::Elementwise {
+        elems: (21 * 513 * 513) as u64,
+        flops_per_elem: 8,
+    });
+    l.push(Layer::ArgMax {
+        pixels: 513 * 513,
+        classes: 21,
+    });
+    l.push(Layer::Crf {
+        pixels: 513 * 513,
+        classes: 21,
+        iterations: 10,
+    });
     Network::new("DeepLab", l)
 }
 
@@ -293,9 +354,21 @@ pub fn goturn() -> Network {
         conv(&mut l, &mut s, 256, 3, 1, 1);
         pool2(&mut l, &mut s);
     }
-    l.push(Layer::Linear { in_features: 2 * 256 * 6 * 6, out_features: 4096, batch: 1 });
-    l.push(Layer::Linear { in_features: 4096, out_features: 4096, batch: 1 });
-    l.push(Layer::Linear { in_features: 4096, out_features: 4, batch: 1 });
+    l.push(Layer::Linear {
+        in_features: 2 * 256 * 6 * 6,
+        out_features: 4096,
+        batch: 1,
+    });
+    l.push(Layer::Linear {
+        in_features: 4096,
+        out_features: 4096,
+        batch: 1,
+    });
+    l.push(Layer::Linear {
+        in_features: 4096,
+        out_features: 4,
+        batch: 1,
+    });
     Network::new("GOTURN", l)
 }
 
@@ -376,7 +449,10 @@ mod tests {
         assert_eq!(n_roi, 2);
         // DeepLab: ArgMax + CRF.
         let dl = deeplab();
-        assert!(dl.layers().iter().any(|x| matches!(x, Layer::ArgMax { .. })));
+        assert!(dl
+            .layers()
+            .iter()
+            .any(|x| matches!(x, Layer::ArgMax { .. })));
         assert!(dl.layers().iter().any(|x| matches!(x, Layer::Crf { .. })));
     }
 

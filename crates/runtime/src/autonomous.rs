@@ -12,11 +12,11 @@
 //!   reconfigure to SIMD mode and accelerate LOC's parallel portion —
 //!   the dynamic reallocation only temporal integration offers.
 
+use crate::backend::{IrregularWork, RuntimeError};
 use crate::executor::Executor;
-use crate::platform::{gpu_irregular_ms, Platform};
+use crate::platform::Platform;
 use serde::{Deserialize, Serialize};
-use sma_models::{zoo, LayerWork, Network};
-use sma_sim::GpuConfig;
+use sma_models::{zoo, Network};
 
 /// Latency of one algorithm on one platform, milliseconds.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -46,25 +46,56 @@ impl DrivingPipeline {
     /// Builds the pipeline for a platform using the Table-II-derived
     /// workloads: DET = DeepLab (CNN portion), TRA = GOTURN,
     /// LOC = ORB-SLAM.
+    ///
+    /// # Panics
+    ///
+    /// Panics for backends without programmable SIMD lanes (the TPU):
+    /// see [`DrivingPipeline::try_new`].
     #[must_use]
     pub fn new(platform: Platform) -> Self {
-        let mut exec = Executor::new(platform);
-        exec.include_postprocessing = false; // the driving stack skips CRF
+        Self::try_new(platform).expect("driving pipeline needs programmable lanes")
+    }
+
+    /// Fallible form of [`DrivingPipeline::new`].
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::UnsupportedOnBackend`] when the platform's
+    /// backend reports a [`simd_mode_boost`] of zero — ORB-SLAM's
+    /// localisation kernels need programmable lanes, which is precisely
+    /// the §V-C argument against fixed-function offload engines.
+    ///
+    /// [`simd_mode_boost`]: crate::Backend::simd_mode_boost
+    pub fn try_new(platform: Platform) -> Result<Self, RuntimeError> {
+        if platform.simd_mode_boost() <= 0.0 {
+            return Err(RuntimeError::UnsupportedOnBackend {
+                backend: platform.label(),
+                operation: "the DET/TRA/LOC driving pipeline (LOC needs programmable lanes)",
+            });
+        }
+        // The driving stack skips CRF post-processing.
+        let exec = Executor::builder(platform).postprocessing(false).build();
         let det = exec.run(&zoo::deeplab()).total_ms;
         let tra = exec.run(&zoo::goturn()).total_ms;
-        let loc = Self::loc_ms(&zoo::orb_slam(), 1.0);
-        let loc_boosted = Self::loc_ms(&zoo::orb_slam(), platform.simd_mode_boost().max(1.0));
+        let loc = Self::loc_ms(platform, &zoo::orb_slam(), 1.0);
+        let loc_boosted = Self::loc_ms(
+            platform,
+            &zoo::orb_slam(),
+            platform.simd_mode_boost().max(1.0),
+        );
         // The simultaneous split: 3-SMA can run detection on two units
         // while the third serves SIMD work — detection then runs at
         // 2-SMA speed.
         let det_split = if platform == Platform::Sma3 {
-            let mut e2 = Executor::new(Platform::Sma2);
-            e2.include_postprocessing = false;
-            e2.run(&zoo::deeplab()).total_ms
+            Executor::builder(Platform::Sma2)
+                .postprocessing(false)
+                .build()
+                .run(&zoo::deeplab())
+                .total_ms
         } else {
             det
         };
-        DrivingPipeline {
+        Ok(DrivingPipeline {
             platform,
             schedule: FrameSchedule {
                 det_ms: det,
@@ -73,7 +104,7 @@ impl DrivingPipeline {
                 loc_ms: loc,
                 loc_boosted_ms: loc_boosted,
             },
-        }
+        })
     }
 
     /// The platform.
@@ -88,26 +119,14 @@ impl DrivingPipeline {
         self.schedule
     }
 
-    fn loc_ms(net: &Network, boost: f64) -> f64 {
-        let gpu = GpuConfig::volta();
+    fn loc_ms(platform: Platform, net: &Network, boost: f64) -> f64 {
+        let backend = platform.backend();
         net.layers()
             .iter()
-            .map(|l| match l.work() {
-                LayerWork::Irregular {
-                    flops,
-                    bytes,
-                    parallel_fraction,
-                    memory_efficiency,
-                } => gpu_irregular_ms(
-                    &gpu,
-                    flops,
-                    bytes,
-                    parallel_fraction,
-                    memory_efficiency,
-                    boost,
-                ),
+            .map(|l| match IrregularWork::from_layer(l) {
+                Some(work) => backend.irregular(work.with_boost(boost)).time_ms,
                 // ORB-SLAM has no GEMM layers by construction.
-                LayerWork::Gemm(_) => 0.0,
+                None => 0.0,
             })
             .sum()
     }
@@ -183,8 +202,16 @@ mod tests {
             "GPU {:.1} ms",
             gpu.frame_latency_ms()
         );
-        assert!(tc.frame_latency_ms() < 100.0, "TC {:.1}", tc.frame_latency_ms());
-        assert!(sma.frame_latency_ms() < 100.0, "SMA {:.1}", sma.frame_latency_ms());
+        assert!(
+            tc.frame_latency_ms() < 100.0,
+            "TC {:.1}",
+            tc.frame_latency_ms()
+        );
+        assert!(
+            sma.frame_latency_ms() < 100.0,
+            "SMA {:.1}",
+            sma.frame_latency_ms()
+        );
     }
 
     #[test]
@@ -205,8 +232,7 @@ mod tests {
         // Fig. 9 (right): with N=4 the SMA frame latency drops by almost
         // 50% relative to no skipping, and sits below the TC curve.
         let sma = DrivingPipeline::new(Platform::Sma3);
-        let reduction =
-            1.0 - sma.frame_latency_skipping_ms(4) / sma.frame_latency_skipping_ms(1);
+        let reduction = 1.0 - sma.frame_latency_skipping_ms(4) / sma.frame_latency_skipping_ms(1);
         assert!(
             (0.35..0.65).contains(&reduction),
             "SMA N=4 reduction {reduction:.2}"
@@ -235,5 +261,18 @@ mod tests {
     #[should_panic(expected = "skip")]
     fn zero_skip_panics() {
         let _ = DrivingPipeline::new(Platform::Sma3).frame_latency_skipping_ms(0);
+    }
+
+    #[test]
+    fn tpu_has_no_lanes_for_localisation() {
+        // ORB-SLAM needs programmable lanes; pricing it on the TPU's
+        // streaming vector unit would silently ignore its serial solver
+        // stages, so the pipeline refuses the backend outright.
+        use crate::backend::RuntimeError;
+        let err = DrivingPipeline::try_new(Platform::TpuHost).unwrap_err();
+        assert!(matches!(
+            err,
+            RuntimeError::UnsupportedOnBackend { backend: "TPU", .. }
+        ));
     }
 }

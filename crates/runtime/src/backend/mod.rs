@@ -1,0 +1,434 @@
+//! The open execution API: one [`Backend`] trait, five built-in
+//! implementations, no platform special-cases anywhere downstream.
+//!
+//! The paper's thesis is that a single substrate serves both GEMM and
+//! irregular work; the runtime mirrors that with a single object-safe
+//! trait covering both paths plus the host-transfer cost model. The
+//! [`Executor`](crate::Executor) and the autonomous-driving study
+//! dispatch *only* through `dyn Backend` — a new architecture plugs in
+//! without touching either.
+//!
+//! # Adding a sixth backend
+//!
+//! A new backend is one struct and one `impl` — under 50 lines. Say you
+//! want ArrayFlex-style configurable-pipeline arrays:
+//!
+//! ```
+//! use sma_runtime::backend::{
+//!     gpu_irregular_estimate, Backend, GemmCache, IrregularEstimate, IrregularWork,
+//!     RuntimeError,
+//! };
+//! use sma_core::model::GemmEstimate;
+//! use sma_core::{SmaConfig, SmaGemmModel};
+//! use sma_sim::GpuConfig;
+//! use sma_tensor::GemmShape;
+//!
+//! #[derive(Debug)]
+//! struct ArrayFlexBackend {
+//!     gpu: GpuConfig,
+//!     model: SmaGemmModel, // or your own latency model
+//!     cache: GemmCache,
+//! }
+//!
+//! impl Backend for ArrayFlexBackend {
+//!     fn name(&self) -> &'static str {
+//!         "ArrayFlex"
+//!     }
+//!     fn gemm(&self, shape: GemmShape) -> Result<GemmEstimate, RuntimeError> {
+//!         Ok(self.cache.get_or_compute(shape, || self.model.estimate(shape)))
+//!     }
+//!     fn irregular(&self, work: IrregularWork) -> IrregularEstimate {
+//!         // Reconfigurable arrays fall back to SIMD lanes, like SMA.
+//!         gpu_irregular_estimate(&self.gpu, &work)
+//!     }
+//!     fn transfer_ms(&self, _bytes: u64) -> f64 {
+//!         0.0 // on-die: no host hand-off
+//!     }
+//!     fn simd_mode_boost(&self) -> f64 {
+//!         2.0
+//!     }
+//! }
+//!
+//! let backend = ArrayFlexBackend {
+//!     gpu: GpuConfig::volta(),
+//!     model: SmaGemmModel::new(SmaConfig::iso_flop_2sma()),
+//!     cache: GemmCache::default(),
+//! };
+//! assert!(backend.gemm(GemmShape::square(512)).unwrap().time_ms > 0.0);
+//! ```
+//!
+//! Wire it to an [`Executor`](crate::Executor) with
+//! [`ExecutorBuilder::backend`](crate::executor::ExecutorBuilder::backend)
+//! — no enum to extend, no match arms to chase.
+
+mod gpu;
+mod tpu_host;
+
+pub use gpu::{
+    gpu_irregular_estimate, gpu_irregular_ledger, gpu_irregular_ms, SimdBackend, SmaBackend,
+    TensorCoreBackend,
+};
+pub use tpu_host::TpuHostBackend;
+
+use crate::platform::Platform;
+use serde::{Deserialize, Serialize};
+use sma_core::model::GemmEstimate;
+use sma_mem::MemStats;
+use sma_models::{Layer, LayerWork};
+use sma_tensor::GemmShape;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Bytes shipped to the host for the CRF stage: FP32 unaries (21×513²),
+/// the softmax maps and the full-resolution guide image.
+pub const CRF_HANDOFF_BYTES: u64 = 45 << 20;
+
+/// Errors surfaced by the execution API.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum RuntimeError {
+    /// The backend cannot perform the requested operation — e.g. asking
+    /// the TPU for a GPU-clock GEMM estimate, or a GEMM-only engine for
+    /// irregular execution.
+    UnsupportedOnBackend {
+        /// The backend's [`Backend::name`].
+        backend: &'static str,
+        /// What was asked of it.
+        operation: &'static str,
+    },
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::UnsupportedOnBackend { backend, operation } => {
+                write!(f, "backend {backend} does not support {operation}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// Where a layer executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecPath {
+    /// The backend's matrix engine (systolic array / TC / SIMD GEMM).
+    MatrixEngine,
+    /// GPU SIMD mode (programmable lanes).
+    SimdMode,
+    /// Lowered onto the TPU's native ops.
+    TpuLowered,
+    /// Shipped to the host CPU (with transfer cost).
+    HostCpu,
+}
+
+/// The irregular (GEMM-incompatible) op kinds a backend may be handed.
+///
+/// Backends with native programmability ignore the kind and run the
+/// FLOP/byte profile on their lanes; lowering backends (the TPU) pick a
+/// rewrite per kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum IrregularOp {
+    /// Region-proposal non-maximum suppression over `boxes` candidates.
+    Nms {
+        /// Candidate boxes.
+        boxes: usize,
+    },
+    /// Bilinear crop-and-resize of `rois` regions.
+    RoiAlign {
+        /// Number of regions.
+        rois: usize,
+        /// Output bins per side.
+        pooled: usize,
+        /// Feature channels.
+        channels: usize,
+    },
+    /// Per-pixel argmax over class maps.
+    ArgMax {
+        /// Pixels.
+        pixels: usize,
+        /// Classes.
+        classes: usize,
+    },
+    /// Dense-CRF mean-field refinement (host-only on lowering backends).
+    Crf,
+    /// Streaming elementwise work (pooling, activations, custom stages).
+    Streaming,
+}
+
+/// One irregular op characterised for a backend: what it is plus its
+/// execution profile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IrregularWork {
+    /// The op kind (drives lowering decisions).
+    pub op: IrregularOp,
+    /// Useful FLOPs.
+    pub flops: u64,
+    /// Bytes moved.
+    pub bytes: u64,
+    /// Fraction of the op that parallelises across SIMD lanes.
+    pub parallel_fraction: f64,
+    /// Fraction of peak DRAM bandwidth the access pattern achieves.
+    pub memory_efficiency: f64,
+    /// Multiplier on baseline SIMD throughput available to this op
+    /// (1.0 during dependent single-network inference; the autonomous
+    /// scheduler raises it when SMA units fold back into SIMD lanes).
+    pub simd_boost: f64,
+}
+
+impl IrregularWork {
+    /// Characterises a layer's irregular work, or `None` for a
+    /// GEMM-compatible layer.
+    #[must_use]
+    pub fn from_layer(layer: &Layer) -> Option<IrregularWork> {
+        let LayerWork::Irregular {
+            flops,
+            bytes,
+            parallel_fraction,
+            memory_efficiency,
+        } = layer.work()
+        else {
+            return None;
+        };
+        let op = match *layer {
+            Layer::Nms { boxes } => IrregularOp::Nms { boxes },
+            Layer::RoiAlign {
+                rois,
+                pooled,
+                channels,
+            } => IrregularOp::RoiAlign {
+                rois,
+                pooled,
+                channels,
+            },
+            Layer::ArgMax { pixels, classes } => IrregularOp::ArgMax { pixels, classes },
+            Layer::Crf { .. } => IrregularOp::Crf,
+            _ => IrregularOp::Streaming,
+        };
+        Some(IrregularWork {
+            op,
+            flops,
+            bytes,
+            parallel_fraction,
+            memory_efficiency,
+            simd_boost: 1.0,
+        })
+    }
+
+    /// The same work with a different SIMD-throughput multiplier.
+    #[must_use]
+    pub const fn with_boost(mut self, boost: f64) -> Self {
+        self.simd_boost = boost;
+        self
+    }
+}
+
+/// A backend's answer for one irregular op.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IrregularEstimate {
+    /// Milliseconds end to end, including any transfer.
+    pub time_ms: f64,
+    /// Milliseconds of host transfer contained in `time_ms`.
+    pub transfer_ms: f64,
+    /// Access ledger for the energy model (empty where the GPU energy
+    /// model does not apply).
+    pub mem: MemStats,
+    /// Occupied SM-cycles (constant-power accounting).
+    pub sm_cycles: u64,
+    /// Which execution path ran it.
+    pub path: ExecPath,
+}
+
+/// Hit/miss counters of a backend's memoized GEMM cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Estimates served from the cache.
+    pub hits: u64,
+    /// Estimates computed and inserted.
+    pub misses: u64,
+}
+
+/// A memoized `GemmShape → GemmEstimate` map.
+///
+/// The experiment zoo re-runs identical conv shapes thousands of times
+/// across figures; analytical estimates are pure functions of the shape,
+/// so every backend caches them. Shared across threads (the registry
+/// hands out one backend instance per platform).
+#[derive(Debug, Default)]
+pub struct GemmCache {
+    map: Mutex<HashMap<GemmShape, GemmEstimate>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl GemmCache {
+    /// Returns the cached estimate for `shape`, computing and inserting
+    /// it on first sight.
+    pub fn get_or_compute(
+        &self,
+        shape: GemmShape,
+        compute: impl FnOnce() -> GemmEstimate,
+    ) -> GemmEstimate {
+        let mut map = self.map.lock().expect("GEMM cache poisoned");
+        if let Some(est) = map.get(&shape) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return *est;
+        }
+        let est = compute();
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        map.insert(shape, est);
+        est
+    }
+
+    /// Current hit/miss counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An execution architecture the runtime can schedule networks onto.
+///
+/// Object-safe: the executor and the application studies hold
+/// `Arc<dyn Backend>` and never inspect which architecture is behind it.
+/// Implementations are constructed once and shared via
+/// [`Platform::backend`]; they must therefore be internally synchronised
+/// (`Send + Sync`), which the built-in ones get from [`GemmCache`].
+pub trait Backend: std::fmt::Debug + Send + Sync {
+    /// Short label used in experiment tables (paper nomenclature).
+    fn name(&self) -> &'static str;
+
+    /// Estimate of one GEMM on the backend's matrix engine.
+    ///
+    /// Implementations should memoize through a [`GemmCache`]: estimates
+    /// are pure functions of the shape and sit on the hot path of every
+    /// experiment binary.
+    fn gemm(&self, shape: GemmShape) -> Result<GemmEstimate, RuntimeError>;
+
+    /// Time and ledger for one irregular (GEMM-incompatible) op.
+    fn irregular(&self, work: IrregularWork) -> IrregularEstimate;
+
+    /// Milliseconds to move `bytes` between the backend and the host
+    /// (0.0 for on-die architectures that never hand off).
+    fn transfer_ms(&self, bytes: u64) -> f64;
+
+    /// Multiplier on baseline SIMD throughput available for irregular
+    /// work when the backend's matrix units reconfigure into lanes
+    /// (1.0 = no reconfiguration, 0.0 = no programmable lanes at all).
+    fn simd_mode_boost(&self) -> f64;
+
+    /// Whether per-layer framework dispatch overhead applies to this
+    /// backend's GEMM launches (false for pipelined offload engines that
+    /// run whole graphs per dispatch).
+    fn applies_framework_overhead(&self) -> bool {
+        true
+    }
+
+    /// Hit/miss counters of the backend's GEMM memo cache (zeroes if the
+    /// backend does not cache).
+    fn gemm_cache_stats(&self) -> CacheStats {
+        CacheStats::default()
+    }
+}
+
+/// The five built-in backends, constructed once on first use and shared.
+fn registry() -> &'static [Arc<dyn Backend>; 5] {
+    static REGISTRY: OnceLock<[Arc<dyn Backend>; 5]> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        [
+            Arc::new(SimdBackend::new()),
+            Arc::new(TensorCoreBackend::new()),
+            Arc::new(SmaBackend::iso_flop_2sma()),
+            Arc::new(SmaBackend::iso_area_3sma()),
+            Arc::new(TpuHostBackend::new()),
+        ]
+    })
+}
+
+/// The shared backend instance for a platform key.
+pub(crate) fn backend_for(platform: Platform) -> Arc<dyn Backend> {
+    let index = match platform {
+        Platform::GpuSimd => 0,
+        Platform::GpuTensorCore => 1,
+        Platform::Sma2 => 2,
+        Platform::Sma3 => 3,
+        Platform::TpuHost => 4,
+    };
+    Arc::clone(&registry()[index])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_hands_out_shared_instances() {
+        let a = backend_for(Platform::Sma3);
+        let b = backend_for(Platform::Sma3);
+        assert!(Arc::ptr_eq(&a, &b), "backends must be constructed once");
+        assert_eq!(a.name(), "3-SMA");
+    }
+
+    #[test]
+    fn names_match_platform_labels() {
+        for p in [
+            Platform::GpuSimd,
+            Platform::GpuTensorCore,
+            Platform::Sma2,
+            Platform::Sma3,
+            Platform::TpuHost,
+        ] {
+            assert_eq!(backend_for(p).name(), p.label());
+        }
+    }
+
+    #[test]
+    fn gemm_cache_memoizes() {
+        let cache = GemmCache::default();
+        let shape = GemmShape::square(64);
+        let make = || sma_core::SimdGemmModel::new(sma_sim::GpuConfig::volta()).estimate(shape);
+        let first = cache.get_or_compute(shape, make);
+        let again = cache.get_or_compute(shape, || panic!("must be served from cache"));
+        assert_eq!(first.time_ms.to_bits(), again.time_ms.to_bits());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn irregular_work_classifies_layers() {
+        let crf = Layer::Crf {
+            pixels: 100,
+            classes: 3,
+            iterations: 2,
+        };
+        assert_eq!(
+            IrregularWork::from_layer(&crf).unwrap().op,
+            IrregularOp::Crf
+        );
+        let nms = Layer::Nms { boxes: 10 };
+        assert_eq!(
+            IrregularWork::from_layer(&nms).unwrap().op,
+            IrregularOp::Nms { boxes: 10 }
+        );
+        let fc = Layer::Linear {
+            in_features: 8,
+            out_features: 8,
+            batch: 1,
+        };
+        assert!(IrregularWork::from_layer(&fc).is_none());
+    }
+
+    #[test]
+    fn boost_is_carried_not_baked_in() {
+        let nms = Layer::Nms { boxes: 100 };
+        let work = IrregularWork::from_layer(&nms).unwrap();
+        assert_eq!(work.simd_boost, 1.0);
+        assert_eq!(work.with_boost(3.0).simd_boost, 3.0);
+    }
+}

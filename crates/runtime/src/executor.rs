@@ -1,16 +1,14 @@
 //! Network-on-platform execution profiles.
 
-use crate::platform::{gpu_irregular_ledger, gpu_irregular_ms, tpu, Platform};
+use crate::backend::{Backend, IrregularWork, RuntimeError, CRF_HANDOFF_BYTES};
+use crate::platform::Platform;
 use serde::{Deserialize, Serialize};
-use sma_accel::TpuLowering;
 use sma_energy::{EnergyBreakdown, EnergyModel};
 use sma_mem::MemStats;
 use sma_models::{Layer, LayerWork, Network};
-use sma_sim::GpuConfig;
+use std::sync::Arc;
 
-/// Bytes shipped to the host for the CRF stage: FP32 unaries (21×513²),
-/// the softmax maps and the full-resolution guide image.
-const CRF_HANDOFF_BYTES: u64 = 45 << 20;
+pub use crate::backend::ExecPath;
 
 /// Per-layer timing record.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -21,19 +19,6 @@ pub struct LayerProfile {
     pub ms: f64,
     /// Which execution path ran it.
     pub path: ExecPath,
-}
-
-/// Where a layer executed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum ExecPath {
-    /// The platform's matrix engine (systolic array / TC / SIMD GEMM).
-    MatrixEngine,
-    /// GPU SIMD mode (programmable lanes).
-    SimdMode,
-    /// Lowered onto the TPU's native ops.
-    TpuLowered,
-    /// Shipped to the host CPU (with transfer cost).
-    HostCpu,
 }
 
 /// Complete profile of one network inference on one platform.
@@ -49,11 +34,11 @@ pub struct NetworkProfile {
     pub gemm_ms: f64,
     /// Milliseconds in irregular layers.
     pub irregular_ms: f64,
-    /// Milliseconds of host transfers (TPU platform only).
+    /// Milliseconds of host transfers (offload backends only).
     pub transfer_ms: f64,
     /// Per-layer records.
     pub layers: Vec<LayerProfile>,
-    /// Aggregate access ledger (GPU-family platforms).
+    /// Aggregate access ledger (GPU-family backends).
     pub mem: MemStats,
     /// Occupied SM-cycles (for constant-power accounting).
     pub sm_cycles: u64,
@@ -67,7 +52,8 @@ impl NetworkProfile {
     }
 }
 
-/// Runs networks on platforms.
+/// Runs networks on platforms, dispatching every layer through the
+/// platform's [`Backend`].
 ///
 /// # Example
 ///
@@ -75,7 +61,10 @@ impl NetworkProfile {
 /// use sma_runtime::{Executor, Platform};
 /// use sma_models::zoo;
 ///
-/// let exec = Executor::new(Platform::Sma3);
+/// let exec = Executor::builder(Platform::Sma3)
+///     .batch(1)
+///     .postprocessing(true)
+///     .build();
 /// let profile = exec.run(&zoo::alexnet());
 /// assert!(profile.total_ms > 0.0);
 /// assert!(profile.gemm_ms > profile.irregular_ms);
@@ -83,55 +72,142 @@ impl NetworkProfile {
 #[derive(Debug, Clone)]
 pub struct Executor {
     platform: Platform,
-    gpu: GpuConfig,
-    /// Per-layer framework dispatch overhead on the GPU family, in ms
-    /// (kernel launch + framework glue; calibrated against the Fig. 3
-    /// end-to-end numbers).
-    pub framework_ms_per_layer: f64,
+    backend: Arc<dyn Backend>,
+    framework_ms_per_layer: f64,
+    include_postprocessing: bool,
+    batch: usize,
+}
+
+/// Configures an [`Executor`].
+///
+/// Created by [`Executor::builder`]; defaults to the paper's end-to-end
+/// latency setup (batch 1, 0.3 ms/layer framework glue, post-processing
+/// included).
+#[derive(Debug, Clone)]
+pub struct ExecutorBuilder {
+    platform: Platform,
+    backend: Option<Arc<dyn Backend>>,
+    framework_ms_per_layer: f64,
+    include_postprocessing: bool,
+    batch: usize,
+}
+
+impl ExecutorBuilder {
+    /// Inference batch size: im2col GEMMs stack along `m`. Fig. 8's
+    /// kernel-level comparison runs batch 16 so layer GEMMs reach the
+    /// steady-state regions of the engines; the end-to-end latency
+    /// studies (Fig. 3/9) run batch 1.
+    #[must_use]
+    pub fn batch(mut self, batch: usize) -> Self {
+        self.batch = batch.max(1);
+        self
+    }
+
+    /// Per-layer framework dispatch overhead in ms (kernel launch +
+    /// framework glue; calibrated against the Fig. 3 end-to-end
+    /// numbers). Backends whose
+    /// [`Backend::applies_framework_overhead`] is false never pay it.
+    #[must_use]
+    pub fn framework_ms(mut self, ms: f64) -> Self {
+        self.framework_ms_per_layer = ms;
+        self
+    }
+
     /// Include post-processing stages (the CRF). Fig. 3 includes them
     /// (reported separately for CRF); Fig. 8's network comparison is the
     /// CNN+head portion only.
-    pub include_postprocessing: bool,
-    /// Inference batch size: im2col GEMMs stack along `m`. Fig. 8's
-    /// kernel-level comparison runs batch 16 so layer GEMMs reach the
-    /// steady-state regions of the engines (GPGPU-Sim-style evaluation);
-    /// the end-to-end latency studies (Fig. 3/9) run batch 1.
-    pub batch: usize,
+    #[must_use]
+    pub fn postprocessing(mut self, include: bool) -> Self {
+        self.include_postprocessing = include;
+        self
+    }
+
+    /// Overrides the backend instance — the hook for architectures
+    /// beyond the five built-in [`Platform`] keys. The platform key is
+    /// kept for labelling/serialisation only.
+    #[must_use]
+    pub fn backend(mut self, backend: Arc<dyn Backend>) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// Builds the executor (resolving the platform's shared backend
+    /// unless one was injected).
+    #[must_use]
+    pub fn build(self) -> Executor {
+        Executor {
+            platform: self.platform,
+            backend: self.backend.unwrap_or_else(|| self.platform.backend()),
+            framework_ms_per_layer: self.framework_ms_per_layer,
+            include_postprocessing: self.include_postprocessing,
+            batch: self.batch,
+        }
+    }
 }
 
 impl Executor {
-    /// Creates an executor for a platform.
+    /// Starts configuring an executor for a platform.
     #[must_use]
-    pub fn new(platform: Platform) -> Self {
-        Executor {
+    pub fn builder(platform: Platform) -> ExecutorBuilder {
+        ExecutorBuilder {
             platform,
-            gpu: GpuConfig::volta(),
+            backend: None,
             framework_ms_per_layer: 0.3,
             include_postprocessing: true,
             batch: 1,
         }
     }
 
+    /// An executor with the end-to-end defaults (batch 1, Fig. 3 setup).
+    #[must_use]
+    pub fn new(platform: Platform) -> Self {
+        Self::builder(platform).build()
+    }
+
     /// Fig.-8 configuration: kernel-level comparison at batch 16, no
     /// framework glue, CNN+head portion only.
     #[must_use]
     pub fn kernel_study(platform: Platform) -> Self {
-        let mut e = Self::new(platform);
-        e.framework_ms_per_layer = 0.0;
-        e.include_postprocessing = false;
-        e.batch = 16;
-        e
+        Self::builder(platform)
+            .batch(16)
+            .framework_ms(0.0)
+            .postprocessing(false)
+            .build()
     }
 
-    /// The platform.
+    /// The platform key.
     #[must_use]
     pub const fn platform(&self) -> Platform {
         self.platform
     }
 
+    /// The backend the executor dispatches through.
+    #[must_use]
+    pub fn backend(&self) -> &Arc<dyn Backend> {
+        &self.backend
+    }
+
     /// Profiles one inference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the backend rejects a layer
+    /// ([`Backend::gemm`] returning an error); use [`Executor::try_run`]
+    /// to handle that as a value. The five built-in backends accept every
+    /// zoo layer.
     #[must_use]
     pub fn run(&self, network: &Network) -> NetworkProfile {
+        self.try_run(network)
+            .expect("backend rejected a layer; use try_run for fallible dispatch")
+    }
+
+    /// Profiles one inference, surfacing backend rejections.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RuntimeError`] from the backend (e.g. a GEMM-only
+    /// engine refusing a shape).
+    pub fn try_run(&self, network: &Network) -> Result<NetworkProfile, RuntimeError> {
         let mut profile = NetworkProfile {
             platform: self.platform,
             network: network.name().to_string(),
@@ -147,11 +223,11 @@ impl Executor {
         for (index, layer) in network.layers().iter().enumerate() {
             if !self.include_postprocessing && matches!(layer, Layer::Crf { .. }) {
                 // The CRF *compute* is reported separately (paper §II-B),
-                // but the TPU still pays the hand-off transfer — its
-                // pipeline cannot produce the final output without the
-                // host.
-                if self.platform == Platform::TpuHost {
-                    let transfer = tpu().transfer_ms(CRF_HANDOFF_BYTES);
+                // but offload backends still pay the hand-off transfer —
+                // their pipeline cannot produce the final output without
+                // the host. On-die backends price the transfer at zero.
+                let transfer = self.backend.transfer_ms(CRF_HANDOFF_BYTES);
+                if transfer > 0.0 {
                     profile.transfer_ms += transfer;
                     profile.total_ms += transfer;
                     profile.irregular_ms += transfer;
@@ -160,102 +236,43 @@ impl Executor {
             }
             let (ms, path) = match layer.work() {
                 LayerWork::Gemm(mut shape) => {
-                    shape.m *= self.batch.max(1);
-                    if self.platform == Platform::TpuHost {
-                        (tpu().estimate_gemm(shape).time_ms, ExecPath::MatrixEngine)
+                    // The builder clamps batch to >= 1.
+                    shape.m *= self.batch;
+                    let est = self.backend.gemm(shape)?;
+                    profile.mem += est.mem;
+                    profile.sm_cycles += est.sm_cycles;
+                    let glue = if self.backend.applies_framework_overhead() {
+                        self.framework_ms_per_layer
                     } else {
-                        let est = self.platform.gemm(shape);
-                        profile.mem += est.mem;
-                        profile.sm_cycles += est.sm_cycles;
-                        (
-                            est.time_ms + self.framework_ms_per_layer,
-                            ExecPath::MatrixEngine,
-                        )
-                    }
+                        0.0
+                    };
+                    (est.time_ms + glue, ExecPath::MatrixEngine)
                 }
-                LayerWork::Irregular {
-                    flops,
-                    bytes,
-                    parallel_fraction,
-                    memory_efficiency,
-                } => match self.platform {
-                    Platform::TpuHost => self.tpu_irregular(layer, flops, bytes, &mut profile),
-                    _ => {
-                        let ms = gpu_irregular_ms(
-                            &self.gpu,
-                            flops,
-                            bytes,
-                            parallel_fraction,
-                            memory_efficiency,
-                            // During irregular phases the GPU family runs
-                            // its baseline SIMD lanes; the SMA units'
-                            // extra SIMD capacity is used by the
-                            // *autonomous* scheduler, not single-network
-                            // inference (the layers are dependent).
-                            1.0,
-                        );
-                        profile.mem += gpu_irregular_ledger(flops, bytes);
-                        profile.sm_cycles += self
-                            .gpu
-                            .cycles_for_seconds(ms / 1e3)
-                            * u64::from(self.gpu.sms);
-                        (ms, ExecPath::SimdMode)
-                    }
-                },
+                LayerWork::Irregular { .. } => {
+                    // During irregular phases of dependent single-network
+                    // inference the substrate runs its baseline SIMD
+                    // lanes (boost 1.0); the SMA units' extra SIMD
+                    // capacity is exploited by the *autonomous*
+                    // scheduler, which raises the boost itself.
+                    let work = IrregularWork::from_layer(layer)
+                        .expect("irregular LayerWork implies irregular layer");
+                    let est = self.backend.irregular(work);
+                    profile.mem += est.mem;
+                    profile.sm_cycles += est.sm_cycles;
+                    profile.transfer_ms += est.transfer_ms;
+                    (est.time_ms, est.path)
+                }
             };
             match path {
                 ExecPath::MatrixEngine => profile.gemm_ms += ms,
-                ExecPath::SimdMode | ExecPath::TpuLowered => profile.irregular_ms += ms,
-                ExecPath::HostCpu => profile.irregular_ms += ms,
+                ExecPath::SimdMode | ExecPath::TpuLowered | ExecPath::HostCpu => {
+                    profile.irregular_ms += ms;
+                }
             }
             profile.total_ms += ms;
             profile.layers.push(LayerProfile { index, ms, path });
         }
-        profile
-    }
-
-    /// TPU path for an irregular layer: lower it if the compiler can,
-    /// otherwise ship the tensors to the host CPU.
-    fn tpu_irregular(
-        &self,
-        layer: &Layer,
-        flops: u64,
-        bytes: u64,
-        profile: &mut NetworkProfile,
-    ) -> (f64, ExecPath) {
-        let t = tpu();
-        match *layer {
-            Layer::Nms { boxes } => {
-                // One dispatched sweep per selected box (TF on-device NMS).
-                let lowered = TpuLowering::nms(boxes, boxes.min(1000));
-                (lowered.time_on_tpu(&t), ExecPath::TpuLowered)
-            }
-            Layer::RoiAlign { rois, pooled, channels } => {
-                // The avg-pool rewrite reads the whole enclosing window
-                // (≈24² taps) where the native op needs 4.
-                let lowered = TpuLowering::roialign(rois, pooled, channels, 24);
-                (lowered.time_on_tpu(&t), ExecPath::TpuLowered)
-            }
-            Layer::ArgMax { pixels, classes } => {
-                let lowered = TpuLowering::argmax(pixels, classes);
-                (lowered.time_on_tpu(&t), ExecPath::TpuLowered)
-            }
-            Layer::Crf { .. } => {
-                // Unsupported and un-lowerable: transfer to the host.
-                let _ = bytes;
-                let transfer = t.transfer_ms(CRF_HANDOFF_BYTES);
-                profile.transfer_ms += transfer;
-                let cpu = sma_accel::CpuModel::xeon_core();
-                (transfer + cpu.irregular_ms(flops, bytes), ExecPath::HostCpu)
-            }
-            _ => {
-                // Pool/elementwise run natively on the vector unit.
-                let cycles = (bytes / 4).div_ceil(128);
-                let ms = cycles as f64 / (t.config().clock_ghz * 1e9) * 1e3
-                    + t.config().dispatch_us * 1e-3;
-                (ms, ExecPath::TpuLowered)
-            }
-        }
+        Ok(profile)
     }
 }
 
@@ -300,7 +317,11 @@ mod tests {
                 "{}: 3-SMA speedup {s_sma3:.2}",
                 net.name()
             );
-            assert!(s_sma3 > s_tc * 1.35, "{}: 3-SMA must clearly beat 4-TC", net.name());
+            assert!(
+                s_sma3 > s_tc * 1.35,
+                "{}: 3-SMA must clearly beat 4-TC",
+                net.name()
+            );
         }
     }
 
@@ -322,21 +343,33 @@ mod tests {
         // paper does: "we separate the CRF time from the overall
         // execution time").
         let dl = zoo::deeplab();
-        let mut gpu_np = Executor::new(Platform::GpuSimd);
-        gpu_np.include_postprocessing = false;
-        let mut tpu_np = Executor::new(Platform::TpuHost);
-        tpu_np.include_postprocessing = false;
+        let gpu_np = Executor::builder(Platform::GpuSimd)
+            .postprocessing(false)
+            .build();
+        let tpu_np = Executor::builder(Platform::TpuHost)
+            .postprocessing(false)
+            .build();
         let ratio_dl = tpu_np.run(&dl).total_ms / gpu_np.run(&dl).total_ms;
-        assert!((1.3..2.6).contains(&ratio_dl), "DeepLab TPU/GPU {ratio_dl:.2}");
+        assert!(
+            (1.3..2.6).contains(&ratio_dl),
+            "DeepLab TPU/GPU {ratio_dl:.2}"
+        );
 
         // CRF: CPU ≈10× slower than GPU (Fig. 3 bottom: 555 vs 52 ms).
         use sma_models::{Layer, LayerWork};
-        let crf = Layer::Crf { pixels: 513 * 513, classes: 21, iterations: 10 };
+        let crf = Layer::Crf {
+            pixels: 513 * 513,
+            classes: 21,
+            iterations: 10,
+        };
         let LayerWork::Irregular { flops, bytes, .. } = crf.work() else {
             panic!()
         };
         let cpu_ms = sma_accel::CpuModel::xeon_core().irregular_ms(flops, bytes);
-        assert!((8.0..14.0).contains(&(cpu_ms / 52.0)), "CRF CPU {cpu_ms:.0} ms");
+        assert!(
+            (8.0..14.0).contains(&(cpu_ms / 52.0)),
+            "CRF CPU {cpu_ms:.0} ms"
+        );
 
         // …while on a pure CNN the TPU wins (>1.6× on GEMM per §II-B).
         let vgg = zoo::vgg_a();
@@ -374,13 +407,79 @@ mod tests {
 
     #[test]
     fn postprocessing_toggle_changes_deeplab_only() {
-        let mut with = Executor::new(Platform::GpuSimd);
-        with.include_postprocessing = true;
-        let mut without = Executor::new(Platform::GpuSimd);
-        without.include_postprocessing = false;
+        let with = Executor::builder(Platform::GpuSimd)
+            .postprocessing(true)
+            .build();
+        let without = Executor::builder(Platform::GpuSimd)
+            .postprocessing(false)
+            .build();
         let dl = zoo::deeplab();
         assert!(with.run(&dl).total_ms > without.run(&dl).total_ms + 30.0);
         let ax = zoo::alexnet();
         assert!((with.run(&ax).total_ms - without.run(&ax).total_ms).abs() < 1e-9);
+    }
+
+    #[test]
+    fn builder_defaults_match_new() {
+        let a = Executor::new(Platform::Sma3);
+        let b = Executor::builder(Platform::Sma3).build();
+        let net = zoo::alexnet();
+        assert_eq!(
+            a.run(&net).total_ms.to_bits(),
+            b.run(&net).total_ms.to_bits()
+        );
+    }
+
+    #[test]
+    fn executor_dispatches_through_injected_backend() {
+        // A custom backend reaches run() without any Platform variant.
+        use crate::backend::{Backend, GemmCache, IrregularEstimate, IrregularWork, RuntimeError};
+        use sma_core::model::GemmEstimate;
+        use sma_core::{SmaConfig, SmaGemmModel};
+        use sma_sim::GpuConfig;
+        use sma_tensor::GemmShape;
+
+        #[derive(Debug)]
+        struct Doubled {
+            gpu: GpuConfig,
+            model: SmaGemmModel,
+            cache: GemmCache,
+        }
+        impl Backend for Doubled {
+            fn name(&self) -> &'static str {
+                "2x-SMA"
+            }
+            fn gemm(&self, shape: GemmShape) -> Result<GemmEstimate, RuntimeError> {
+                Ok(self.cache.get_or_compute(shape, || {
+                    let mut e = self.model.estimate(shape);
+                    e.time_ms *= 2.0;
+                    e
+                }))
+            }
+            fn irregular(&self, work: IrregularWork) -> IrregularEstimate {
+                crate::backend::gpu_irregular_estimate(&self.gpu, &work)
+            }
+            fn transfer_ms(&self, _bytes: u64) -> f64 {
+                0.0
+            }
+            fn simd_mode_boost(&self) -> f64 {
+                3.0
+            }
+        }
+
+        // Compare without framework glue so the doubled estimates are
+        // the only difference.
+        let custom = Executor::builder(Platform::Sma3)
+            .framework_ms(0.0)
+            .backend(std::sync::Arc::new(Doubled {
+                gpu: GpuConfig::volta(),
+                model: SmaGemmModel::new(SmaConfig::iso_area_3sma()),
+                cache: GemmCache::default(),
+            }))
+            .build();
+        let stock = Executor::builder(Platform::Sma3).framework_ms(0.0).build();
+        let net = zoo::alexnet();
+        let (c, s) = (custom.run(&net).gemm_ms, stock.run(&net).gemm_ms);
+        assert!((c / s - 2.0).abs() < 1e-9, "custom {c} vs stock {s}");
     }
 }

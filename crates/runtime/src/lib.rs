@@ -3,12 +3,16 @@
 //!
 //! This is where the paper's system-level comparisons are assembled:
 //!
-//! * [`Platform`] — GPU-SIMD, 4-TC, 2-SMA, 3-SMA and TPU+host;
-//! * [`Executor`] — runs a [`sma_models::Network`] on a platform,
-//!   scheduling GEMM layers on the platform's matrix engine and the
-//!   GEMM-incompatible layers where each platform can execute them
-//!   (SIMD mode for the GPU family; lowering or host-CPU fallback for the
-//!   TPU, with the transfer costs of Fig. 3);
+//! * [`backend`] — the open execution API: one object-safe [`Backend`]
+//!   trait covering GEMM, irregular work and host transfers, with the
+//!   five evaluated architectures as cached implementations and room for
+//!   more (see the module docs for a worked sixth backend);
+//! * [`Platform`] — the thin serialisable keys (GPU-SIMD, 4-TC, 2-SMA,
+//!   3-SMA, TPU+host), each resolving to its shared backend via
+//!   [`Platform::backend`];
+//! * [`Executor`] — runs a [`sma_models::Network`] by dispatching every
+//!   layer through `dyn Backend`, configured with a builder
+//!   (`Executor::builder(p).batch(16).framework_ms(0.0).build()`);
 //! * [`autonomous`] — the autonomous-driving pipeline of §V-C
 //!   (DET/TRA/LOC with detection-frame skipping), including the dynamic
 //!   resource reallocation only temporal integration allows: on non-DET
@@ -18,9 +22,14 @@
 #![deny(missing_docs)]
 
 pub mod autonomous;
+pub mod backend;
 pub mod executor;
 pub mod platform;
 
 pub use autonomous::{DrivingPipeline, FrameSchedule};
-pub use executor::{Executor, LayerProfile, NetworkProfile};
+pub use backend::{
+    Backend, CacheStats, ExecPath, GemmCache, IrregularEstimate, IrregularOp, IrregularWork,
+    RuntimeError, SimdBackend, SmaBackend, TensorCoreBackend, TpuHostBackend,
+};
+pub use executor::{Executor, ExecutorBuilder, LayerProfile, NetworkProfile};
 pub use platform::Platform;

@@ -1,12 +1,17 @@
-//! Platform definitions and the shared irregular-op execution model.
+//! The platform keys of the evaluation.
+//!
+//! [`Platform`] is a thin, serialisable key naming the five evaluated
+//! architectures. All execution behaviour lives behind
+//! [`Platform::backend`], which returns the shared
+//! [`Backend`](crate::Backend) trait object for the key — the executor,
+//! the experiment harness and the application studies never match on the
+//! variant.
 
+use crate::backend::{self, Backend, RuntimeError};
 use serde::{Deserialize, Serialize};
-use sma_core::{SimdGemmModel, SmaConfig, SmaGemmModel};
 use sma_core::model::GemmEstimate;
-use sma_accel::{TcGemmModel, TpuSim};
-use sma_mem::MemStats;
-use sma_sim::GpuConfig;
 use sma_tensor::GemmShape;
+use std::sync::Arc;
 
 /// The five platforms of the evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -48,37 +53,42 @@ impl Platform {
         ]
     }
 
-    /// GEMM estimate on this platform's matrix engine.
+    /// The shared [`Backend`] instance for this key.
     ///
-    /// # Panics
-    ///
-    /// Panics for [`Platform::TpuHost`] — TPU estimates carry different
-    /// units and flow through [`TpuSim`] directly.
+    /// Backends are constructed once, on first use, and cached for the
+    /// lifetime of the process — repeated calls return the same
+    /// instance (and therefore the same memoized GEMM cache).
     #[must_use]
-    pub fn gemm(&self, shape: GemmShape) -> GemmEstimate {
+    pub fn backend(self) -> Arc<dyn Backend> {
+        backend::backend_for(self)
+    }
+
+    /// GEMM estimate on this platform's matrix engine, in GPU-clock
+    /// units.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::UnsupportedOnBackend`] for [`Platform::TpuHost`]:
+    /// TPU estimates carry TPU-clock cycles and no GPU access ledger, so
+    /// they flow through [`Platform::backend`] (whose
+    /// [`Backend::gemm`] documents the unit difference) rather than
+    /// through this GPU-units accessor.
+    pub fn gemm(&self, shape: GemmShape) -> Result<GemmEstimate, RuntimeError> {
         match self {
-            Platform::GpuSimd => SimdGemmModel::new(GpuConfig::volta()).estimate(shape),
-            Platform::GpuTensorCore => TcGemmModel::new(GpuConfig::volta()).estimate(shape),
-            Platform::Sma2 => SmaGemmModel::new(SmaConfig::iso_flop_2sma()).estimate(shape),
-            Platform::Sma3 => SmaGemmModel::new(SmaConfig::iso_area_3sma()).estimate(shape),
-            Platform::TpuHost => panic!("TPU GEMM estimates flow through TpuSim"),
+            Platform::TpuHost => Err(RuntimeError::UnsupportedOnBackend {
+                backend: self.label(),
+                operation: "GPU-clock GEMM estimates (use Platform::backend())",
+            }),
+            _ => self.backend().gemm(shape),
         }
     }
 
-    /// Multiplier on SIMD throughput available for irregular work.
-    ///
-    /// The SMA platforms reconfigure their units into SIMD lanes when not
-    /// running GEMMs: 3 units = 192 FP32-lane-equivalents vs. the
-    /// baseline 64 — the "dynamic resource allocation" of §V-C. The TC
-    /// platform's tensor cores cannot run irregular code at all.
+    /// Multiplier on SIMD throughput available for irregular work
+    /// (delegates to the backend — see
+    /// [`Backend::simd_mode_boost`]).
     #[must_use]
-    pub const fn simd_mode_boost(self) -> f64 {
-        match self {
-            Platform::GpuSimd | Platform::GpuTensorCore => 1.0,
-            Platform::Sma2 => 2.0,
-            Platform::Sma3 => 3.0,
-            Platform::TpuHost => 0.0, // no programmable lanes at all
-        }
+    pub fn simd_mode_boost(self) -> f64 {
+        self.backend().simd_mode_boost()
     }
 }
 
@@ -86,54 +96,6 @@ impl std::fmt::Display for Platform {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.label())
     }
-}
-
-/// GPU execution model for an irregular (GEMM-incompatible) op.
-///
-/// `parallel_fraction` of the FLOPs run across the SIMD lanes at 50% issue
-/// efficiency (divergence, gathers); the serial remainder crawls at
-/// single-thread GPU speed; bandwidth is capped by the op's
-/// `memory_efficiency`; a fixed launch overhead is charged.
-#[must_use]
-pub fn gpu_irregular_ms(
-    gpu: &GpuConfig,
-    flops: u64,
-    bytes: u64,
-    parallel_fraction: f64,
-    memory_efficiency: f64,
-    simd_boost: f64,
-) -> f64 {
-    const LAUNCH_MS: f64 = 0.02;
-    const ISSUE_EFFICIENCY: f64 = 0.5;
-    const SERIAL_GFLOPS: f64 = 2.0;
-
-    let peak_flops = gpu.simd_fp32_tflops() * 1e12 * simd_boost.max(1e-9);
-    let par = flops as f64 * parallel_fraction / (peak_flops * ISSUE_EFFICIENCY) * 1e3;
-    let serial = flops as f64 * (1.0 - parallel_fraction) / (SERIAL_GFLOPS * 1e9) * 1e3;
-    let bw = gpu.dram_bytes_per_cycle_per_sm * f64::from(gpu.sms) * gpu.clock_ghz * 1e9;
-    let mem = bytes as f64 / (bw * memory_efficiency.max(1e-9)) * 1e3;
-    par.max(mem) + serial + LAUNCH_MS
-}
-
-/// Approximate access ledger of an irregular GPU op (for the energy
-/// model): every byte through L1/L2/DRAM, one ALU op per FLOP.
-#[must_use]
-pub fn gpu_irregular_ledger(flops: u64, bytes: u64) -> MemStats {
-    let mut m = MemStats::default();
-    m.dram_bytes = bytes;
-    m.l1_misses = bytes / 128;
-    m.l2_misses = bytes / 128;
-    m.alu_ops = flops;
-    m.rf_reads = flops / 32;
-    m.rf_writes = flops / 64;
-    m.instructions = flops / 32;
-    m
-}
-
-/// Shared TPU instance for the `TpuHost` platform.
-#[must_use]
-pub fn tpu() -> TpuSim {
-    TpuSim::default()
 }
 
 #[cfg(test)]
@@ -150,58 +112,39 @@ mod tests {
     #[test]
     fn gemm_dispatches_per_platform() {
         let shape = GemmShape::square(1024);
-        let simd = Platform::GpuSimd.gemm(shape).time_ms;
-        let tc = Platform::GpuTensorCore.gemm(shape).time_ms;
-        let sma2 = Platform::Sma2.gemm(shape).time_ms;
-        let sma3 = Platform::Sma3.gemm(shape).time_ms;
+        let simd = Platform::GpuSimd.gemm(shape).unwrap().time_ms;
+        let tc = Platform::GpuTensorCore.gemm(shape).unwrap().time_ms;
+        let sma2 = Platform::Sma2.gemm(shape).unwrap().time_ms;
+        let sma3 = Platform::Sma3.gemm(shape).unwrap().time_ms;
         assert!(simd > tc, "TC beats SIMD");
         assert!(tc > sma2, "2-SMA beats TC");
         assert!(sma2 > sma3, "3-SMA beats 2-SMA");
     }
 
     #[test]
-    #[should_panic(expected = "TpuSim")]
-    fn tpu_gemm_panics_on_gpu_path() {
-        let _ = Platform::TpuHost.gemm(GemmShape::square(64));
-    }
-
-    #[test]
-    fn crf_on_gpu_matches_paper_order() {
-        // Fig. 3: CRF ≈ 52 ms on the GPU. Our cost model should land in
-        // the right decade (40-65 ms) from the byte counts alone.
-        use sma_models::{Layer, LayerWork};
-        let crf = Layer::Crf { pixels: 513 * 513, classes: 21, iterations: 10 };
-        let LayerWork::Irregular { flops, bytes, parallel_fraction, memory_efficiency } =
-            crf.work()
-        else {
-            panic!("crf is irregular")
-        };
-        let t = gpu_irregular_ms(
-            &GpuConfig::volta(),
-            flops,
-            bytes,
-            parallel_fraction,
-            memory_efficiency,
-            1.0,
+    fn tpu_gemm_is_a_typed_error_not_a_panic() {
+        let err = Platform::TpuHost.gemm(GemmShape::square(64)).unwrap_err();
+        assert!(matches!(
+            err,
+            RuntimeError::UnsupportedOnBackend { backend: "TPU", .. }
+        ));
+        // …while the backend route serves the TPU estimate directly.
+        assert!(
+            Platform::TpuHost
+                .backend()
+                .gemm(GemmShape::square(64))
+                .unwrap()
+                .time_ms
+                > 0.0
         );
-        assert!((40.0..65.0).contains(&t), "CRF on GPU {t:.1} ms");
     }
 
     #[test]
-    fn simd_boost_speeds_irregular_work() {
-        let gpu = GpuConfig::volta();
-        let base = gpu_irregular_ms(&gpu, 10_000_000_000, 0, 0.9, 0.8, 1.0);
-        let boosted = gpu_irregular_ms(&gpu, 10_000_000_000, 0, 0.9, 0.8, 3.0);
-        assert!(boosted < base);
-        // Amdahl: the serial 10% limits the gain.
-        assert!(boosted > base / 3.0);
-    }
-
-    #[test]
-    fn ledger_is_proportional() {
-        let a = gpu_irregular_ledger(1000, 4096);
-        let b = gpu_irregular_ledger(2000, 8192);
-        assert_eq!(b.dram_bytes, 2 * a.dram_bytes);
-        assert_eq!(b.alu_ops, 2 * a.alu_ops);
+    fn simd_boost_comes_from_the_backend() {
+        assert_eq!(Platform::GpuSimd.simd_mode_boost(), 1.0);
+        assert_eq!(Platform::GpuTensorCore.simd_mode_boost(), 1.0);
+        assert_eq!(Platform::Sma2.simd_mode_boost(), 2.0);
+        assert_eq!(Platform::Sma3.simd_mode_boost(), 3.0);
+        assert_eq!(Platform::TpuHost.simd_mode_boost(), 0.0);
     }
 }

@@ -1,0 +1,13 @@
+//! Offline stand-in for `serde`.
+//!
+//! The container building this workspace has no route to a crates
+//! registry, so the `serde` dependency resolves here (see
+//! `[workspace.dependencies]` in the root manifest). The workspace uses
+//! serde purely as `#[derive(Serialize, Deserialize)]` markers on
+//! plain-data structs — no serialisation happens at runtime — so the
+//! derives expand to nothing. Replacing this shim with the real crate
+//! is a one-line manifest change and no source change.
+
+#![deny(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};

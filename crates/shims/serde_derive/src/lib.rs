@@ -1,0 +1,22 @@
+//! No-op derive macros mirroring `serde_derive`.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as a
+//! forward-compatibility marker on its plain-data types; nothing
+//! serialises at runtime. These derives accept the same positions the
+//! real macros do and expand to nothing, so swapping the real crate in
+//! (when a registry is reachable) changes no source line outside the
+//! manifests.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

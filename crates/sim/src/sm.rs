@@ -4,8 +4,8 @@ use crate::config::GpuConfig;
 use crate::sched::{SchedulerKind, WarpScheduler};
 use sma_isa::{AluOp, Instr, Kernel, MemSpace, Reg};
 use sma_mem::{BankedConfig, BankedMemory, Cache, CacheConfig, CacheOutcome, Coalescer, MemStats};
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::error::Error;
 use std::fmt;
 
@@ -322,11 +322,10 @@ impl SmSim {
                     // Structural check.
                     let structural_ok = match instr {
                         Instr::Alu { op, .. } => match op {
-                            AluOp::Ffma | AluOp::Fadd | AluOp::Fmul | AluOp::Hfma2
-                            | AluOp::Cvt => fp32_slots > 0,
-                            AluOp::Iadd | AluOp::Imad | AluOp::Mov | AluOp::Setp => {
-                                int_slots > 0
+                            AluOp::Ffma | AluOp::Fadd | AluOp::Fmul | AluOp::Hfma2 | AluOp::Cvt => {
+                                fp32_slots > 0
                             }
+                            AluOp::Iadd | AluOp::Imad | AluOp::Mov | AluOp::Setp => int_slots > 0,
                             AluOp::Sfu => sfu_slots > 0,
                         },
                         Instr::Load { .. } | Instr::Store { .. } => lsu_free_at <= cycle,
@@ -342,7 +341,9 @@ impl SmSim {
                     ready[pi] = true;
                 }
 
-                let Some(pick) = policy.pick(&ready) else { continue };
+                let Some(pick) = policy.pick(&ready) else {
+                    continue;
+                };
                 let wi = part[pick];
 
                 // Take the instruction and execute its issue effects.
@@ -354,11 +355,10 @@ impl SmSim {
                 match instr {
                     Instr::Alu { op, dst, srcs } => {
                         match op {
-                            AluOp::Ffma | AluOp::Fadd | AluOp::Fmul | AluOp::Hfma2
-                            | AluOp::Cvt => fp32_slots -= 1,
-                            AluOp::Iadd | AluOp::Imad | AluOp::Mov | AluOp::Setp => {
-                                int_slots -= 1
+                            AluOp::Ffma | AluOp::Fadd | AluOp::Fmul | AluOp::Hfma2 | AluOp::Cvt => {
+                                fp32_slots -= 1
                             }
+                            AluOp::Iadd | AluOp::Imad | AluOp::Mov | AluOp::Setp => int_slots -= 1,
                             AluOp::Sfu => sfu_slots -= 1,
                         }
                         let latency = if *op == AluOp::Sfu { lat.sfu } else { lat.alu };
@@ -374,23 +374,32 @@ impl SmSim {
                             mem.alu_ops += 32;
                         }
                     }
-                    Instr::Load { space, dst, pattern, width } => {
+                    Instr::Load {
+                        space,
+                        dst,
+                        pattern,
+                        width,
+                    } => {
                         let addrs = pattern.lane_addresses();
                         let ready_at = match space {
                             MemSpace::Shared => {
                                 let acc = shared.access(&addrs);
                                 lsu_free_at = cycle + u64::from(acc.cycles);
                                 mem.shared_reads += 1;
-                                mem.shared_conflict_cycles +=
-                                    u64::from(acc.extra_conflict_cycles);
+                                mem.shared_conflict_cycles += u64::from(acc.extra_conflict_cycles);
                                 cycle + u64::from(lat.shared) + u64::from(acc.cycles - 1)
                             }
                             MemSpace::Global => {
                                 let r = coalescer.access(&addrs, *width);
                                 lsu_free_at = cycle + u64::from(r.sectors.div_ceil(4)).max(1);
                                 self.global_access(
-                                    &mut l1, &mut l2, &mut mem, &mut dram_ready_at, cycle,
-                                    &addrs, r.sectors,
+                                    &mut l1,
+                                    &mut l2,
+                                    &mut mem,
+                                    &mut dram_ready_at,
+                                    cycle,
+                                    &addrs,
+                                    r.sectors,
                                 )
                             }
                             MemSpace::Const => {
@@ -402,15 +411,19 @@ impl SmSim {
                         warps[wi].set_pending(*dst, ready_at);
                         writebacks.push(Reverse((ready_at, wi, dst.0)));
                     }
-                    Instr::Store { space, pattern, width, .. } => {
+                    Instr::Store {
+                        space,
+                        pattern,
+                        width,
+                        ..
+                    } => {
                         let addrs = pattern.lane_addresses();
                         match space {
                             MemSpace::Shared => {
                                 let acc = shared.access(&addrs);
                                 lsu_free_at = cycle + u64::from(acc.cycles);
                                 mem.shared_writes += 1;
-                                mem.shared_conflict_cycles +=
-                                    u64::from(acc.extra_conflict_cycles);
+                                mem.shared_conflict_cycles += u64::from(acc.extra_conflict_cycles);
                             }
                             MemSpace::Global => {
                                 let r = coalescer.access(&addrs, *width);
@@ -433,7 +446,9 @@ impl SmSim {
                         warps[wi].set_pending(*dst, cycle + u64::from(lat.hmma));
                         writebacks.push(Reverse((cycle + u64::from(lat.hmma), wi, dst.0)));
                     }
-                    Instr::Lsma { unit, c_base, k, .. } => {
+                    Instr::Lsma {
+                        unit, c_base, k, ..
+                    } => {
                         let u = (*unit as usize) % n_units;
                         let dim = u64::from(self.cfg.sma_dim);
                         let stream = u64::from(*k);
@@ -591,6 +606,20 @@ impl SmSim {
     }
 }
 
+/// Extension helper used by tests and higher layers to flip a config into
+/// an SMA variant inline.
+pub trait IntoSma {
+    /// Returns the same configuration with `units` SMA units.
+    fn into_sma(self, units: u32) -> GpuConfig;
+}
+
+impl IntoSma for GpuConfig {
+    fn into_sma(mut self, units: u32) -> GpuConfig {
+        self.sma_units = units;
+        self
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -706,7 +735,12 @@ mod tests {
         // A warp issues LSMA then keeps doing independent integer work;
         // the systolic pass overlaps with it.
         let mut with_overlap = WarpProgram::builder();
-        with_overlap.push(Instr::Lsma { unit: 0, a_base: 0, c_base: Reg(30), k: 128 });
+        with_overlap.push(Instr::Lsma {
+            unit: 0,
+            a_base: 0,
+            c_base: Reg(30),
+            k: 128,
+        });
         // 25 dependent IADDs ≈ 100 cycles of SIMD work hidden under the
         // 136-cycle systolic pass.
         with_overlap.loop_n(25, |l| {
@@ -714,7 +748,7 @@ mod tests {
         });
         with_overlap.push(Instr::LsmaWait { unit: 0 });
         let k = kernel_of(with_overlap.build(), 1);
-        let mut sim = SmSim::new(cfg().clone().into_sma(2), SchedulerKind::SmaRoundRobin);
+        let mut sim = SmSim::new(cfg().into_sma(2), SchedulerKind::SmaRoundRobin);
         let r = sim.run_block(&k).unwrap();
         // Pass = 128 + 8 - 1 + 1 = 136 cycles; ALU work hides inside it.
         assert!(r.cycles >= 136, "cycles {}", r.cycles);
@@ -725,11 +759,16 @@ mod tests {
     #[test]
     fn lsma_wait_blocks_until_done() {
         let mut b = WarpProgram::builder();
-        b.push(Instr::Lsma { unit: 0, a_base: 0, c_base: Reg(30), k: 256 });
+        b.push(Instr::Lsma {
+            unit: 0,
+            a_base: 0,
+            c_base: Reg(30),
+            k: 256,
+        });
         b.push(Instr::LsmaWait { unit: 0 });
         b.push(Instr::iadd(Reg(1), Reg(0), Reg(0)));
         let k = kernel_of(b.build(), 1);
-        let mut sim = SmSim::new(cfg().clone().into_sma(2), SchedulerKind::Gto);
+        let mut sim = SmSim::new(cfg().into_sma(2), SchedulerKind::Gto);
         let r = sim.run_block(&k).unwrap();
         assert!(r.cycles >= 256 + 8, "cycles {}", r.cycles);
         assert!(r.stalls.lsma_wait > 0);
@@ -738,12 +777,22 @@ mod tests {
     #[test]
     fn two_units_run_passes_concurrently() {
         let mut b = WarpProgram::builder();
-        b.push(Instr::Lsma { unit: 0, a_base: 0, c_base: Reg(30), k: 512 });
-        b.push(Instr::Lsma { unit: 1, a_base: 0, c_base: Reg(31), k: 512 });
+        b.push(Instr::Lsma {
+            unit: 0,
+            a_base: 0,
+            c_base: Reg(30),
+            k: 512,
+        });
+        b.push(Instr::Lsma {
+            unit: 1,
+            a_base: 0,
+            c_base: Reg(31),
+            k: 512,
+        });
         b.push(Instr::LsmaWait { unit: 0 });
         b.push(Instr::LsmaWait { unit: 1 });
         let k = kernel_of(b.build(), 1);
-        let mut sim = SmSim::new(cfg().clone().into_sma(2), SchedulerKind::Gto);
+        let mut sim = SmSim::new(cfg().into_sma(2), SchedulerKind::Gto);
         let r = sim.run_block(&k).unwrap();
         // Concurrent: ~520 cycles, not ~1040.
         assert!(r.cycles < 700, "cycles {}", r.cycles);
@@ -753,12 +802,22 @@ mod tests {
     #[test]
     fn serialised_feed_port_doubles_time() {
         let mut b = WarpProgram::builder();
-        b.push(Instr::Lsma { unit: 0, a_base: 0, c_base: Reg(30), k: 512 });
-        b.push(Instr::Lsma { unit: 1, a_base: 4096, c_base: Reg(31), k: 512 });
+        b.push(Instr::Lsma {
+            unit: 0,
+            a_base: 0,
+            c_base: Reg(30),
+            k: 512,
+        });
+        b.push(Instr::Lsma {
+            unit: 1,
+            a_base: 4096,
+            c_base: Reg(31),
+            k: 512,
+        });
         b.push(Instr::LsmaWait { unit: 0 });
         b.push(Instr::LsmaWait { unit: 1 });
         let k = kernel_of(b.build(), 1);
-        let mut sim = SmSim::new(cfg().clone().into_sma(2), SchedulerKind::Gto);
+        let mut sim = SmSim::new(cfg().into_sma(2), SchedulerKind::Gto);
         sim.sma_units_share_a = false;
         let r = sim.run_block(&k).unwrap();
         assert!(r.cycles >= 2 * 512, "cycles {}", r.cycles);
@@ -849,19 +908,5 @@ mod tests {
         };
         assert!((r.ipc() - 2.5).abs() < 1e-12);
         assert!((r.macs_per_cycle() - 64.0).abs() < 1e-12);
-    }
-}
-
-/// Extension helper used by tests and higher layers to flip a config into
-/// an SMA variant inline.
-pub trait IntoSma {
-    /// Returns the same configuration with `units` SMA units.
-    fn into_sma(self, units: u32) -> GpuConfig;
-}
-
-impl IntoSma for GpuConfig {
-    fn into_sma(mut self, units: u32) -> GpuConfig {
-        self.sma_units = units;
-        self
     }
 }

@@ -102,10 +102,7 @@ impl<T: Scalar> SemiBroadcastArray<T> {
                     continue;
                 }
                 let i = i as usize;
-                let a_val = a
-                    .get(i, a_col0 + c)
-                    .copied()
-                    .unwrap_or(T::ZERO);
+                let a_val = a.get(i, a_col0 + c).copied().unwrap_or(T::ZERO);
                 feeds += 1;
                 any_mac = true;
                 for r in 0..n {
@@ -113,7 +110,7 @@ impl<T: Scalar> SemiBroadcastArray<T> {
                     self.psum[r][c] = incoming.mac(a_val, self.weights[r][c]);
                     trace_kind.pe_transfers += 1; // psum hop
                 }
-                trace_kind.macs += (n as u64) * 1;
+                trace_kind.macs += n as u64;
                 trace_kind.pe_transfers += 1; // the column broadcast wire
             }
             if feeds > 0 {

@@ -97,7 +97,11 @@ impl<T: Scalar> WeightStationaryArray<T> {
                     } else {
                         self.a_pipe[kr][nc - 1]
                     };
-                    let psum_in = if kr == 0 { T::ZERO } else { self.psum[kr - 1][nc] };
+                    let psum_in = if kr == 0 {
+                        T::ZERO
+                    } else {
+                        self.psum[kr - 1][nc]
+                    };
                     self.a_pipe[kr][nc] = a_in;
                     self.psum[kr][nc] = psum_in.mac(a_in, self.weights[kr][nc]);
                     // Issued-MAC accounting: the PE is busy whenever data

@@ -311,7 +311,10 @@ mod tests {
         let a = F16::from_f32(0.1);
         let b = F16::from_f32(0.2);
         let sum = a + b;
-        assert_eq!(sum.to_f32(), F16::from_f32(a.to_f32() + b.to_f32()).to_f32());
+        assert_eq!(
+            sum.to_f32(),
+            F16::from_f32(a.to_f32() + b.to_f32()).to_f32()
+        );
     }
 
     #[test]

@@ -205,10 +205,7 @@ pub fn blocked<T: Scalar>(
 /// # Errors
 ///
 /// Returns [`TensorError::ShapeMismatch`] if the inner dimensions disagree.
-pub fn mixed_precision_f16(
-    a: &Matrix<f32>,
-    b: &Matrix<f32>,
-) -> Result<Matrix<f32>, TensorError> {
+pub fn mixed_precision_f16(a: &Matrix<f32>, b: &Matrix<f32>) -> Result<Matrix<f32>, TensorError> {
     use crate::f16::F16;
     let shape = check_shapes("gemm::mixed_precision_f16", a, b)?;
     let ah = a.map(F16::from_f32);

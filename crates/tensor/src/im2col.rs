@@ -217,8 +217,7 @@ pub fn im2col<T: Scalar>(
                             - conv.padding as isize;
                         if iy >= 0 && ix >= 0 && (iy as usize) < shape.h && (ix as usize) < shape.w
                         {
-                            patches[(row, col)] =
-                                input[(c, iy as usize * shape.w + ix as usize)];
+                            patches[(row, col)] = input[(c, iy as usize * shape.w + ix as usize)];
                         }
                         col += 1;
                     }
@@ -276,9 +275,8 @@ pub fn conv2d_direct<T: Scalar>(
                                 && (iy as usize) < shape.h
                                 && (ix as usize) < shape.w
                             {
-                                let w_idx = c * conv.kernel_h * conv.kernel_w
-                                    + ky * conv.kernel_w
-                                    + kx;
+                                let w_idx =
+                                    c * conv.kernel_h * conv.kernel_w + ky * conv.kernel_w + kx;
                                 acc = acc.mac(
                                     input[(c, iy as usize * shape.w + ix as usize)],
                                     weights[(w_idx, oc)],
@@ -347,8 +345,7 @@ mod tests {
     fn gemm_conv_matches_direct_conv() {
         let shape = TensorShape::new(3, 7, 6);
         let input: Matrix<f32> = Matrix::random(3, 42, 7);
-        for (kernel, stride, pad, dil) in [(3, 1, 1, 1), (3, 2, 0, 1), (1, 1, 0, 1), (3, 1, 2, 2)]
-        {
+        for (kernel, stride, pad, dil) in [(3, 1, 1, 1), (3, 2, 0, 1), (1, 1, 0, 1), (3, 1, 2, 2)] {
             let conv = Conv2dParams::new(3, 4, kernel, stride, pad).with_dilation(dil);
             let k = 3 * kernel * kernel;
             let weights = Matrix::random(k, 4, 11);

@@ -42,7 +42,7 @@ pub use f16::F16;
 pub use gemm::GemmShape;
 pub use im2col::{Conv2dParams, TensorShape};
 pub use matrix::Matrix;
-pub use quant::{QuantisedMatrix, QuantParams};
+pub use quant::{QuantParams, QuantisedMatrix};
 pub use scalar::Scalar;
 pub use tile::{TileConfig, TileWalk};
 

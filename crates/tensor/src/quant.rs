@@ -39,10 +39,7 @@ impl QuantParams {
     /// for an all-zero matrix).
     #[must_use]
     pub fn fit_matrix(m: &Matrix<f32>) -> Self {
-        let max_abs = m
-            .as_slice()
-            .iter()
-            .fold(0.0f32, |acc, &v| acc.max(v.abs()));
+        let max_abs = m.as_slice().iter().fold(0.0f32, |acc, &v| acc.max(v.abs()));
         if max_abs == 0.0 {
             QuantParams { scale: 1.0 }
         } else {

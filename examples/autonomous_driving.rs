@@ -23,7 +23,11 @@ fn main() {
             s.tra_ms,
             s.loc_ms,
             frame,
-            if frame <= TARGET_MS { "meets target" } else { "MISSES target" }
+            if frame <= TARGET_MS {
+                "meets target"
+            } else {
+                "MISSES target"
+            }
         );
     }
 
@@ -34,7 +38,10 @@ fn main() {
     for n in 1..=9 {
         let t = tc.frame_latency_skipping_ms(n);
         let s = sma.frame_latency_skipping_ms(n);
-        println!("  {n}    {t:>7.1}   {s:>8.1}   {:>5.1}%", (1.0 - s / t) * 100.0);
+        println!(
+            "  {n}    {t:>7.1}   {s:>8.1}   {:>5.1}%",
+            (1.0 - s / t) * 100.0
+        );
     }
 
     let s1 = sma.frame_latency_skipping_ms(1);

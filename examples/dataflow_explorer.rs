@@ -27,8 +27,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "flow", "cycles", "passes", "util", "PE transfers", "drain shape"
     );
 
-    let mut run = |name: &str, result: sma::systolic::GemmRun<f32>| {
-        assert!(result.result.approx_eq(&expected, 1e-3), "{name} wrong result");
+    let run = |name: &str, result: sma::systolic::GemmRun<f32>| {
+        assert!(
+            result.result.approx_eq(&expected, 1e-3),
+            "{name} wrong result"
+        );
         let t = &result.trace;
         println!(
             "  {:<6} {:>8} {:>8} {:>9.1}% {:>12} {:>14}",
@@ -37,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             t.passes,
             t.utilisation(8) * 100.0,
             t.pe_transfers,
-            format!("{:?}", t.c_drain_kind).chars().take(14).collect::<String>(),
+            format!("{:?}", t.c_drain_kind)
+                .chars()
+                .take(14)
+                .collect::<String>(),
         );
     };
 

@@ -81,8 +81,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Platform::Sma3,
         Platform::TpuHost,
     ] {
-        let mut exec = Executor::new(p);
-        exec.include_postprocessing = false;
+        let exec = Executor::builder(p).postprocessing(false).build();
         let prof = exec.run(&net);
         println!(
             "  {:<5} {:>7.1} ms (gemm {:>6.1} + irregular {:>5.1} + transfer {:>5.1})",

@@ -12,7 +12,7 @@ use sma::systolic::{
     DataflowKind, OutputStationaryArray, PassTiming, SemiBroadcastArray, SystolicGemm,
     WeightStationaryArray,
 };
-use sma::tensor::{gemm, Conv2dParams, F16, GemmShape, Matrix, TensorShape, TileConfig};
+use sma::tensor::{gemm, Conv2dParams, GemmShape, Matrix, TensorShape, TileConfig, F16};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -210,6 +210,35 @@ proptest! {
             if !addrs.is_empty() {
                 prop_assert_eq!(banks.access(&addrs).cycles, 1);
             }
+        }
+    }
+
+    /// End-to-end latency is monotone (non-decreasing) in batch size on
+    /// every backend: batching stacks im2col GEMMs along `m` and can
+    /// never make an inference cheaper.
+    #[test]
+    fn latency_monotone_in_batch(
+        batch in 1usize..48,
+        delta in 1usize..16,
+    ) {
+        use sma::runtime::{Executor, Platform};
+        let net = sma::models::zoo::alexnet();
+        for platform in [
+            Platform::GpuSimd,
+            Platform::GpuTensorCore,
+            Platform::Sma2,
+            Platform::Sma3,
+            Platform::TpuHost,
+        ] {
+            let small = Executor::builder(platform).batch(batch).build();
+            let large = Executor::builder(platform).batch(batch + delta).build();
+            let t_small = small.run(&net).total_ms;
+            let t_large = large.run(&net).total_ms;
+            prop_assert!(
+                t_large >= t_small,
+                "{platform}: batch {} took {t_large} ms < batch {batch} at {t_small} ms",
+                batch + delta
+            );
         }
     }
 
