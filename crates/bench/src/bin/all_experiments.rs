@@ -1,66 +1,83 @@
-//! Runs every figure regenerator in sequence (the full evaluation).
+//! Runs the full evaluation through the sweep driver, two ways:
+//!
+//! 1. **Serial reference** — the figure/table regenerators plus the
+//!    platform × network × batch grid on the legacy step-by-step path
+//!    (`Executor::try_run` per inference: every layer re-resolved, the
+//!    GEMM cache re-queried per run), one task after another.
+//! 2. **Planned-parallel** — the same tasks with each grid cell
+//!    compiled once into a `NetworkPlan` and replayed, fanned across
+//!    scoped worker threads against the warm sharded GEMM caches.
+//!
+//! Both passes render identical reports (plans replay bit-identically);
+//! the wall-clock comparison plus per-pass GEMM-cache hit rates land in
+//! `BENCH_sweep.json` so the perf trajectory is tracked across PRs.
+//!
+//! Environment:
+//! * `SMA_SWEEP_THREADS` — worker threads for the parallel pass
+//!   (default: available parallelism).
+//! * `SMA_SWEEP_REPS` — inference replays per grid cell (default 200).
+//! * `SMA_SWEEP_JSON` — report path (default: `BENCH_sweep.json`).
+
+use sma_bench::sweep::{self, PassReport, Sweep, SweepReport};
 
 fn main() {
-    for (name, f) in [
-        ("fig1_efficiency", run_fig1 as fn()),
-        ("fig3_hybrid", run_fig3),
-        ("fig7_isoflop", run_fig7),
-        ("fig8_isoarea", run_fig8),
-        ("fig9_autonomous", run_fig9),
-    ] {
-        println!("===== {name} =====");
-        f();
-        println!();
-    }
-}
+    let execs = sweep::grid_executors(&sweep::all_platforms(), &[1, 16]);
+    let nets = sweep::zoo_networks();
+    let reps = sweep::default_reps();
+    let threads = sweep::default_threads();
 
-fn run_fig1() {
-    for r in sma_bench::fig1() {
+    let serial_sweep = Sweep::figures().extend(Sweep::grid_stepwise(&execs, &nets, reps));
+    let parallel_sweep = Sweep::figures().extend(Sweep::grid_planned(&execs, &nets, reps));
+
+    let before = sweep::cache_snapshot();
+    let serial = serial_sweep.run_serial();
+    let mid = sweep::cache_snapshot();
+    let parallel = parallel_sweep.run_parallel(threads);
+    let after = sweep::cache_snapshot();
+
+    for task in &serial.tasks {
+        println!("===== {} =====", task.name);
+        println!("{}", task.output);
+    }
+
+    let diverged = serial
+        .tasks
+        .iter()
+        .zip(&parallel.tasks)
+        .filter(|(s, p)| s.output != p.output)
+        .count();
+    assert_eq!(diverged, 0, "parallel pass diverged on {diverged} tasks");
+
+    let report = SweepReport {
+        serial: PassReport::new(&serial, &before, &mid),
+        parallel: PassReport::new(&parallel, &mid, &after),
+    };
+    let path = std::env::var("SMA_SWEEP_JSON").unwrap_or_else(|_| String::from("BENCH_sweep.json"));
+    match report.write_json(&path) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => {
+            // The report is the point of this binary (CI uploads it as
+            // an artifact); a missing file must fail the build, not
+            // warn into a green log.
+            eprintln!("could not write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    println!(
+        "\nsweep: {} tasks | serial {:.1} ms (cold) | planned-parallel {:.1} ms on {} threads (warm) | speedup {:.2}x",
+        serial.tasks.len(),
+        report.serial.wall_ms,
+        report.parallel.wall_ms,
+        report.parallel.threads,
+        report.speedup(),
+    );
+    for (backend, stats) in &report.parallel.cache {
         println!(
-            "2^{:<2} TPU {:>5.1}%  TC {:>5.1}%",
-            r.log2_size,
-            r.tpu_efficiency * 100.0,
-            r.tc_efficiency * 100.0
+            "  {backend}: parallel-pass GEMM cache {} hits / {} misses ({:.1}% hit rate)",
+            stats.hits,
+            stats.misses,
+            stats.hit_rate() * 100.0
         );
-    }
-}
-
-fn run_fig3() {
-    for r in sma_bench::fig3() {
-        println!(
-            "{:<10} {:<5} total {:>7.1} ms (gemm {:.1} + irregular {:.1} + transfer {:.1})",
-            r.model, r.platform, r.total_ms, r.cnn_fc_ms, r.irregular_ms, r.transfer_ms
-        );
-    }
-}
-
-fn run_fig7() {
-    for r in sma_bench::fig7() {
-        println!(
-            "2^{:<2} speedup {:.2}x  eff {:>5.1}% vs {:>5.1}%  WS/SB {:.2}",
-            r.log2_size,
-            r.speedup_2sma_over_4tc,
-            r.sma_efficiency * 100.0,
-            r.tc_efficiency * 100.0,
-            r.ws_over_sb_cycles
-        );
-    }
-}
-
-fn run_fig8() {
-    for r in sma_bench::fig8() {
-        println!(
-            "{:<11} 4-TC {:.1}x  2-SMA {:.1}x  3-SMA {:.1}x  energy {:.2}/{:.2}",
-            r.network, r.speedup_4tc, r.speedup_2sma, r.speedup_3sma, r.energy_2sma, r.energy_3sma
-        );
-    }
-}
-
-fn run_fig9() {
-    for r in sma_bench::fig9_left() {
-        println!("{:<5} frame {:>6.1} ms", r.platform, r.frame_ms);
-    }
-    for r in sma_bench::fig9_right() {
-        println!("N={} TC {:>5.1} SMA {:>5.1}", r.skip, r.tc_ms, r.sma_ms);
     }
 }

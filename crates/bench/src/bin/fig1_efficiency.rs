@@ -2,18 +2,5 @@
 //! GEMMs, sizes 2^7..2^14.
 
 fn main() {
-    let rows: Vec<Vec<String>> = sma_bench::fig1()
-        .into_iter()
-        .map(|r| {
-            vec![
-                format!("2^{}", r.log2_size),
-                format!("{:.1}%", r.tpu_efficiency * 100.0),
-                format!("{:.1}%", r.tc_efficiency * 100.0),
-            ]
-        })
-        .collect();
-    let headers = ["size", "TPU efficiency", "TC efficiency"];
-    println!("Fig. 1 — TensorCore and TPU efficiency\n");
-    print!("{}", sma_bench::render_table(&headers, &rows));
-    let _ = sma_bench::write_csv("fig1", &headers, &rows);
+    print!("{}", sma_bench::sweep::fig1_report());
 }

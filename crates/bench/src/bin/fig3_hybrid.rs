@@ -3,38 +3,7 @@
 //! Table II census (Fig. 2's models).
 
 fn main() {
-    println!("Table II — CNN models\n");
-    let t2: Vec<Vec<String>> = sma_bench::table2()
-        .into_iter()
-        .map(|(n, c)| vec![n, c.to_string()])
-        .collect();
-    print!(
-        "{}",
-        sma_bench::render_table(&["network", "conv layers"], &t2)
-    );
-
-    println!("\nFig. 3 — TPU vs GPU for Mask R-CNN and DeepLab\n");
-    let rows: Vec<Vec<String>> = sma_bench::fig3()
-        .into_iter()
-        .map(|r| {
-            vec![
-                r.model.to_string(),
-                r.platform.to_string(),
-                format!("{:.1}", r.cnn_fc_ms),
-                format!("{:.1}", r.irregular_ms),
-                format!("{:.1}", r.transfer_ms),
-                format!("{:.1}", r.total_ms),
-            ]
-        })
-        .collect();
-    let headers = [
-        "model",
-        "platform",
-        "CNN&FC ms",
-        "irregular ms",
-        "transfer ms",
-        "total ms",
-    ];
-    print!("{}", sma_bench::render_table(&headers, &rows));
-    let _ = sma_bench::write_csv("fig3", &headers, &rows);
+    print!("{}", sma_bench::sweep::table2_report());
+    println!();
+    print!("{}", sma_bench::sweep::fig3_report());
 }

@@ -3,33 +3,7 @@
 //! stationary, right). Also prints Table I.
 
 fn main() {
-    println!("Table I — Baseline GPU and SMA configurations\n");
-    let t1: Vec<Vec<String>> = sma_bench::table1()
-        .into_iter()
-        .map(|r| r.to_vec())
-        .collect();
-    print!("{}", sma_bench::render_table(&["", "GPGPU", "SMA"], &t1));
-
-    println!("\nFig. 7 — iso-FLOP: 2-SMA vs 4-TC and dataflow ablation\n");
-    let rows: Vec<Vec<String>> = sma_bench::fig7()
-        .into_iter()
-        .map(|r| {
-            vec![
-                format!("2^{}", r.log2_size),
-                format!("{:.2}x", r.speedup_2sma_over_4tc),
-                format!("{:.1}%", r.sma_efficiency * 100.0),
-                format!("{:.1}%", r.tc_efficiency * 100.0),
-                format!("{:.2}", r.ws_over_sb_cycles),
-            ]
-        })
-        .collect();
-    let headers = [
-        "size",
-        "2-SMA/4-TC speedup",
-        "SMA efficiency",
-        "TC efficiency",
-        "WS/SB-WS cycles",
-    ];
-    print!("{}", sma_bench::render_table(&headers, &rows));
-    let _ = sma_bench::write_csv("fig7", &headers, &rows);
+    print!("{}", sma_bench::sweep::table1_report());
+    println!();
+    print!("{}", sma_bench::sweep::fig7_report());
 }

@@ -2,38 +2,5 @@
 //! (top) and energy normalised to 4-TC (bottom), per Table II network.
 
 fn main() {
-    println!("Fig. 8 — iso-area comparison (batch-16 kernel study)\n");
-    let rows_data = sma_bench::fig8();
-    let rows: Vec<Vec<String>> = rows_data
-        .iter()
-        .map(|r| {
-            vec![
-                r.network.clone(),
-                format!("{:.1}x", r.speedup_4tc),
-                format!("{:.1}x", r.speedup_2sma),
-                format!("{:.1}x", r.speedup_3sma),
-                format!("{:.2}", r.energy_2sma),
-                format!("{:.2}", r.energy_3sma),
-            ]
-        })
-        .collect();
-    let headers = [
-        "network",
-        "4-TC speedup",
-        "2-SMA speedup",
-        "3-SMA speedup",
-        "2-SMA energy",
-        "3-SMA energy",
-    ];
-    print!("{}", sma_bench::render_table(&headers, &rows));
-    let n = rows_data.len() as f64;
-    println!(
-        "\nAverage: 4-TC {:.1}x | 2-SMA {:.1}x | 3-SMA {:.1}x | energy 2-SMA {:.2} | 3-SMA {:.2}",
-        rows_data.iter().map(|r| r.speedup_4tc).sum::<f64>() / n,
-        rows_data.iter().map(|r| r.speedup_2sma).sum::<f64>() / n,
-        rows_data.iter().map(|r| r.speedup_3sma).sum::<f64>() / n,
-        rows_data.iter().map(|r| r.energy_2sma).sum::<f64>() / n,
-        rows_data.iter().map(|r| r.energy_3sma).sum::<f64>() / n,
-    );
-    let _ = sma_bench::write_csv("fig8", &headers, &rows);
+    print!("{}", sma_bench::sweep::fig8_report());
 }

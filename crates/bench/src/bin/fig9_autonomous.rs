@@ -2,35 +2,5 @@
 //! frame latency (left) and the detection-skipping sweep (right).
 
 fn main() {
-    println!("Fig. 9 (left) — single-frame latency (100 ms target)\n");
-    let left: Vec<Vec<String>> = sma_bench::fig9_left()
-        .into_iter()
-        .map(|r| {
-            vec![
-                r.platform.to_string(),
-                format!("{:.1}", r.det_ms),
-                format!("{:.1}", r.tra_ms),
-                format!("{:.1}", r.loc_ms),
-                format!("{:.1}", r.frame_ms),
-            ]
-        })
-        .collect();
-    let lh = ["platform", "DET ms", "TRA ms", "LOC ms", "frame ms"];
-    print!("{}", sma_bench::render_table(&lh, &left));
-    let _ = sma_bench::write_csv("fig9_left", &lh, &left);
-
-    println!("\nFig. 9 (right) — frame latency vs detection interval N\n");
-    let right: Vec<Vec<String>> = sma_bench::fig9_right()
-        .into_iter()
-        .map(|r| {
-            vec![
-                r.skip.to_string(),
-                format!("{:.1}", r.tc_ms),
-                format!("{:.1}", r.sma_ms),
-            ]
-        })
-        .collect();
-    let rh = ["N", "TC ms", "SMA ms"];
-    print!("{}", sma_bench::render_table(&rh, &right));
-    let _ = sma_bench::write_csv("fig9_right", &rh, &right);
+    print!("{}", sma_bench::sweep::fig9_report());
 }

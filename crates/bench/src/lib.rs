@@ -1,17 +1,22 @@
 //! Experiment harness: regenerates every table and figure of the paper.
 //!
 //! Each `figN` function computes the figure's data as structured rows;
-//! the `src/bin/figN_*` binaries print them in the paper's layout (and
-//! CSV); `benches/` wraps them in Criterion for regression tracking.
-//! EXPERIMENTS.md records paper-vs-measured for every entry.
+//! [`sweep`] renders them as report tasks and fans the full evaluation
+//! across scoped threads; the `src/bin/figN_*` binaries print the same
+//! reports standalone; `benches/` wraps the hot paths in Criterion for
+//! regression tracking. `all_experiments` runs the whole evaluation
+//! serial and planned-parallel and writes the wall-clock comparison to
+//! `BENCH_sweep.json`.
 
 #![deny(missing_docs)]
 
 pub mod experiments;
+pub mod sweep;
 pub mod table;
 
 pub use experiments::{
     fig1, fig3, fig7, fig8, fig9_left, fig9_right, table1, table2, Fig1Row, Fig3Row, Fig7Row,
     Fig8Row, Fig9LeftRow, Fig9RightRow,
 };
+pub use sweep::{PassReport, Sweep, SweepReport, SweepRun, SweepTask, TaskReport};
 pub use table::{render_table, write_csv};

@@ -1,0 +1,838 @@
+//! Parallel experiment sweep driver.
+//!
+//! The full evaluation — every figure/table regenerator plus the
+//! platform × network × batch grid — is embarrassingly parallel: each
+//! task is a pure computation returning its rendered report. This
+//! module fans tasks across scoped threads (`std::thread::scope`, no
+//! extra dependencies), with the runtime's sharded GEMM cache and the
+//! compile-once [`NetworkPlan`](sma_runtime::NetworkPlan) layer keeping
+//! the workers off each other's locks.
+//!
+//! [`Sweep::run_serial`] and [`Sweep::run_parallel`] produce identical
+//! outputs (tasks are deterministic); `all_experiments` times both and
+//! writes the comparison to `BENCH_sweep.json` so the perf trajectory
+//! is tracked across PRs.
+//!
+//! # Sweeping a custom backend
+//!
+//! The grid accepts any [`Executor`], so an architecture plugged in via
+//! [`ExecutorBuilder::backend`](sma_runtime::ExecutorBuilder::backend)
+//! — the sixth-backend example of
+//! [`sma_runtime::backend`] — joins the parallel sweep unchanged:
+//!
+//! ```
+//! use sma_bench::sweep::Sweep;
+//! use sma_models::zoo;
+//! use sma_runtime::backend::{
+//!     gpu_irregular_estimate, Backend, GemmCache, IrregularEstimate, IrregularWork,
+//!     RuntimeError,
+//! };
+//! use sma_core::model::GemmEstimate;
+//! use sma_core::{SmaConfig, SmaGemmModel};
+//! use sma_runtime::{Executor, Platform};
+//! use sma_sim::GpuConfig;
+//! use sma_tensor::GemmShape;
+//! use std::sync::Arc;
+//!
+//! #[derive(Debug)]
+//! struct ArrayFlexBackend {
+//!     gpu: GpuConfig,
+//!     model: SmaGemmModel,
+//!     cache: GemmCache,
+//! }
+//!
+//! impl Backend for ArrayFlexBackend {
+//!     fn name(&self) -> &'static str {
+//!         "ArrayFlex"
+//!     }
+//!     fn gemm(&self, shape: GemmShape) -> Result<GemmEstimate, RuntimeError> {
+//!         Ok(self.cache.get_or_compute(shape, || self.model.estimate(shape)))
+//!     }
+//!     fn irregular(&self, work: IrregularWork) -> IrregularEstimate {
+//!         gpu_irregular_estimate(&self.gpu, &work)
+//!     }
+//!     fn transfer_ms(&self, _bytes: u64) -> f64 {
+//!         0.0
+//!     }
+//!     fn simd_mode_boost(&self) -> f64 {
+//!         2.0
+//!     }
+//! }
+//!
+//! // One executor per batch point; the custom backend rides along with
+//! // the built-in platforms in the same grid.
+//! let custom = Executor::builder(Platform::Sma2) // key used for labelling
+//!     .backend(Arc::new(ArrayFlexBackend {
+//!         gpu: GpuConfig::volta(),
+//!         model: SmaGemmModel::new(SmaConfig::iso_flop_2sma()),
+//!         cache: GemmCache::default(),
+//!     }))
+//!     .build();
+//! let sweep = Sweep::grid(&[custom], &[zoo::alexnet(), zoo::vgg_a()]);
+//! let run = sweep.run_parallel(2);
+//! assert_eq!(run.tasks.len(), 2);
+//! assert!(run.tasks.iter().all(|t| t.output.contains("total")));
+//! ```
+
+use crate::{
+    fig1, fig3, fig7, fig8, fig9_left, fig9_right, render_table, table1, table2, write_csv,
+};
+use sma_models::{zoo, Network};
+use sma_runtime::{CacheStats, Executor, Platform};
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One named, self-contained unit of sweep work.
+pub struct SweepTask {
+    name: String,
+    run: Box<dyn Fn() -> String + Send + Sync>,
+}
+
+impl SweepTask {
+    /// Wraps a closure as a task.
+    pub fn new(name: impl Into<String>, run: impl Fn() -> String + Send + Sync + 'static) -> Self {
+        SweepTask {
+            name: name.into(),
+            run: Box::new(run),
+        }
+    }
+
+    /// The task's display name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl std::fmt::Debug for SweepTask {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepTask")
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+/// A task's rendered output and wall-clock cost.
+#[derive(Debug, Clone)]
+pub struct TaskReport {
+    /// Task name.
+    pub name: String,
+    /// The rendered report.
+    pub output: String,
+    /// Wall-clock milliseconds this task took.
+    pub ms: f64,
+}
+
+/// One timed execution of a [`Sweep`] (serial or parallel).
+#[derive(Debug, Clone)]
+pub struct SweepRun {
+    /// Per-task reports, in task order regardless of completion order.
+    pub tasks: Vec<TaskReport>,
+    /// Wall-clock milliseconds for the whole pass.
+    pub wall_ms: f64,
+    /// Worker threads the pass ran on (1 for serial).
+    pub threads: usize,
+}
+
+/// An ordered collection of independent experiment tasks.
+#[derive(Debug, Default)]
+pub struct Sweep {
+    tasks: Vec<SweepTask>,
+}
+
+impl Sweep {
+    /// An empty sweep.
+    #[must_use]
+    pub fn new() -> Self {
+        Sweep::default()
+    }
+
+    /// Appends a task.
+    pub fn push(&mut self, task: SweepTask) {
+        self.tasks.push(task);
+    }
+
+    /// Concatenates two sweeps.
+    #[must_use]
+    pub fn extend(mut self, mut other: Sweep) -> Self {
+        self.tasks.append(&mut other.tasks);
+        self
+    }
+
+    /// Number of tasks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True if the sweep holds no tasks.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// The six figure/table regenerators of the paper as sweep tasks.
+    #[must_use]
+    pub fn figures() -> Sweep {
+        let mut sweep = Sweep::new();
+        sweep.push(SweepTask::new("fig1_efficiency", fig1_report));
+        sweep.push(SweepTask::new("fig3_hybrid", fig3_report));
+        sweep.push(SweepTask::new("fig7_isoflop", fig7_report));
+        sweep.push(SweepTask::new("fig8_isoarea", fig8_report));
+        sweep.push(SweepTask::new("fig9_autonomous", fig9_report));
+        sweep.push(SweepTask::new("tables", tables_report));
+        sweep
+    }
+
+    /// An executor × network grid: one task per cell, each compiling a
+    /// [`NetworkPlan`](sma_runtime::NetworkPlan) and replaying it once.
+    ///
+    /// Custom backends join via
+    /// [`ExecutorBuilder::backend`](sma_runtime::ExecutorBuilder::backend)
+    /// — see the module docs for a worked example.
+    #[must_use]
+    pub fn grid(executors: &[Executor], networks: &[Network]) -> Sweep {
+        Self::grid_planned(executors, networks, 1)
+    }
+
+    /// The grid on the compile-once path: each cell compiles its
+    /// [`NetworkPlan`](sma_runtime::NetworkPlan) once and replays it
+    /// `reps` times (a serving burst). Cell outputs are identical to
+    /// [`Sweep::grid_stepwise`] — plans replay bit-identically.
+    #[must_use]
+    pub fn grid_planned(executors: &[Executor], networks: &[Network], reps: usize) -> Sweep {
+        Self::grid_with(executors, networks, move |exec, net| {
+            grid_cell_planned(exec, net, reps)
+        })
+    }
+
+    /// The grid on the legacy step-by-step path: each cell calls
+    /// [`Executor::try_run`] `reps` times, re-resolving every layer and
+    /// re-querying the GEMM cache on each run — the serial reference the
+    /// `BENCH_sweep.json` report compares the planned path against.
+    #[must_use]
+    pub fn grid_stepwise(executors: &[Executor], networks: &[Network], reps: usize) -> Sweep {
+        Self::grid_with(executors, networks, move |exec, net| {
+            grid_cell_stepwise(exec, net, reps)
+        })
+    }
+
+    fn grid_with(
+        executors: &[Executor],
+        networks: &[Network],
+        cell: impl Fn(&Executor, &Network) -> String + Clone + Send + Sync + 'static,
+    ) -> Sweep {
+        let mut sweep = Sweep::new();
+        for exec in executors {
+            for net in networks {
+                let name = format!(
+                    "grid/{}/b{}/{}",
+                    exec.backend().name(),
+                    exec.batch(),
+                    net.name()
+                );
+                let (exec, net, cell) = (exec.clone(), net.clone(), cell.clone());
+                sweep.push(SweepTask::new(name, move || cell(&exec, &net)));
+            }
+        }
+        sweep
+    }
+
+    /// Runs every task on the calling thread, in order.
+    #[must_use]
+    pub fn run_serial(&self) -> SweepRun {
+        let start = Instant::now();
+        let tasks = self.tasks.iter().map(run_task).collect();
+        SweepRun {
+            tasks,
+            wall_ms: start.elapsed().as_secs_f64() * 1e3,
+            threads: 1,
+        }
+    }
+
+    /// Fans the tasks across up to `threads` scoped worker threads.
+    ///
+    /// Workers pull from a shared atomic cursor (cheap work stealing for
+    /// uneven task costs); results land in task order. Outputs are
+    /// identical to [`Sweep::run_serial`] — tasks are deterministic.
+    #[must_use]
+    pub fn run_parallel(&self, threads: usize) -> SweepRun {
+        let workers = threads.clamp(1, self.tasks.len().max(1));
+        let start = Instant::now();
+        let cursor = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<TaskReport>>> = Mutex::new(vec![None; self.tasks.len()]);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(task) = self.tasks.get(i) else {
+                        break;
+                    };
+                    let report = run_task(task);
+                    slots.lock().expect("sweep slots poisoned")[i] = Some(report);
+                });
+            }
+        });
+        let tasks = slots
+            .into_inner()
+            .expect("sweep slots poisoned")
+            .into_iter()
+            .map(|r| r.expect("every task slot is filled before the scope exits"))
+            .collect();
+        SweepRun {
+            tasks,
+            wall_ms: start.elapsed().as_secs_f64() * 1e3,
+            threads: workers,
+        }
+    }
+}
+
+fn run_task(task: &SweepTask) -> TaskReport {
+    let start = Instant::now();
+    let output = (task.run)();
+    TaskReport {
+        name: task.name.clone(),
+        output,
+        ms: start.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+fn grid_cell_planned(exec: &Executor, net: &Network, reps: usize) -> String {
+    match exec.try_plan(net) {
+        Ok(plan) => {
+            for _ in 1..reps {
+                std::hint::black_box(plan.run());
+            }
+            grid_line(exec, &plan.run())
+        }
+        Err(e) => grid_rejection(exec, net, &e),
+    }
+}
+
+fn grid_cell_stepwise(exec: &Executor, net: &Network, reps: usize) -> String {
+    match exec.try_run(net) {
+        Ok(first) => {
+            let mut last = first;
+            for _ in 1..reps {
+                last = exec.try_run(net).expect("first run succeeded");
+            }
+            grid_line(exec, &last)
+        }
+        Err(e) => grid_rejection(exec, net, &e),
+    }
+}
+
+fn grid_line(exec: &Executor, p: &sma_runtime::NetworkProfile) -> String {
+    format!(
+        "{:<9} b{:<2} {:<11} total {:>9.2} ms (gemm {:>9.2} + irregular {:>7.2} + transfer {:>6.2})",
+        exec.backend().name(),
+        exec.batch(),
+        p.network,
+        p.total_ms,
+        p.gemm_ms,
+        p.irregular_ms - p.transfer_ms,
+        p.transfer_ms,
+    )
+}
+
+fn grid_rejection(exec: &Executor, net: &Network, e: &sma_runtime::RuntimeError) -> String {
+    format!(
+        "{:<9} b{:<2} {:<11} rejected: {e}",
+        exec.backend().name(),
+        exec.batch(),
+        net.name(),
+    )
+}
+
+/// Executors covering a platform × batch grid (end-to-end defaults per
+/// batch point).
+#[must_use]
+pub fn grid_executors(platforms: &[Platform], batches: &[usize]) -> Vec<Executor> {
+    platforms
+        .iter()
+        .flat_map(|&p| {
+            batches
+                .iter()
+                .map(move |&b| Executor::builder(p).batch(b).build())
+        })
+        .collect()
+}
+
+/// Every zoo network the evaluation touches (Table II plus the
+/// autonomous-driving models).
+#[must_use]
+pub fn zoo_networks() -> Vec<Network> {
+    let mut nets = zoo::table2_models();
+    nets.push(zoo::goturn());
+    nets.push(zoo::orb_slam());
+    nets
+}
+
+/// All five evaluation platforms.
+#[must_use]
+pub fn all_platforms() -> [Platform; 5] {
+    [
+        Platform::GpuSimd,
+        Platform::GpuTensorCore,
+        Platform::Sma2,
+        Platform::Sma3,
+        Platform::TpuHost,
+    ]
+}
+
+/// Worker threads to use: `SMA_SWEEP_THREADS` if set, else the
+/// machine's available parallelism.
+#[must_use]
+pub fn default_threads() -> usize {
+    std::env::var("SMA_SWEEP_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// Replays per grid cell: `SMA_SWEEP_REPS` if set, else 200 (a serving
+/// burst large enough that the report times real work, small enough for
+/// CI).
+#[must_use]
+pub fn default_reps() -> usize {
+    std::env::var("SMA_SWEEP_REPS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(200)
+}
+
+/// Per-platform GEMM-cache counters at one instant.
+#[must_use]
+pub fn cache_snapshot() -> Vec<(&'static str, CacheStats)> {
+    all_platforms()
+        .iter()
+        .map(|p| {
+            let backend = p.backend();
+            (backend.name(), backend.gemm_cache_stats())
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Figure/table report renderers (shared by the sweep tasks and the
+// standalone `fig*` binaries).
+// ---------------------------------------------------------------------
+
+/// Fig. 1 rendered as a table (also writes `results/fig1.csv`).
+#[must_use]
+pub fn fig1_report() -> String {
+    let rows: Vec<Vec<String>> = fig1()
+        .into_iter()
+        .map(|r| {
+            vec![
+                format!("2^{}", r.log2_size),
+                format!("{:.1}%", r.tpu_efficiency * 100.0),
+                format!("{:.1}%", r.tc_efficiency * 100.0),
+            ]
+        })
+        .collect();
+    let headers = ["size", "TPU efficiency", "TC efficiency"];
+    let _ = write_csv("fig1", &headers, &rows);
+    format!(
+        "Fig. 1 — TensorCore and TPU efficiency\n\n{}",
+        render_table(&headers, &rows)
+    )
+}
+
+/// Fig. 3 rendered as a table (also writes `results/fig3.csv`).
+#[must_use]
+pub fn fig3_report() -> String {
+    let rows: Vec<Vec<String>> = fig3()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.model.to_string(),
+                r.platform.to_string(),
+                format!("{:.1}", r.cnn_fc_ms),
+                format!("{:.1}", r.irregular_ms),
+                format!("{:.1}", r.transfer_ms),
+                format!("{:.1}", r.total_ms),
+            ]
+        })
+        .collect();
+    let headers = [
+        "model",
+        "platform",
+        "CNN&FC ms",
+        "irregular ms",
+        "transfer ms",
+        "total ms",
+    ];
+    let _ = write_csv("fig3", &headers, &rows);
+    format!(
+        "Fig. 3 — TPU vs GPU for Mask R-CNN and DeepLab\n\n{}",
+        render_table(&headers, &rows)
+    )
+}
+
+/// Fig. 7 rendered as a table (also writes `results/fig7.csv`).
+#[must_use]
+pub fn fig7_report() -> String {
+    let rows: Vec<Vec<String>> = fig7()
+        .into_iter()
+        .map(|r| {
+            vec![
+                format!("2^{}", r.log2_size),
+                format!("{:.2}x", r.speedup_2sma_over_4tc),
+                format!("{:.1}%", r.sma_efficiency * 100.0),
+                format!("{:.1}%", r.tc_efficiency * 100.0),
+                format!("{:.2}", r.ws_over_sb_cycles),
+            ]
+        })
+        .collect();
+    let headers = [
+        "size",
+        "2-SMA/4-TC",
+        "2-SMA efficiency",
+        "4-TC efficiency",
+        "WS/SB cycles",
+    ];
+    let _ = write_csv("fig7", &headers, &rows);
+    format!(
+        "Fig. 7 — iso-FLOP: 2-SMA vs 4-TC and dataflow ablation\n\n{}",
+        render_table(&headers, &rows)
+    )
+}
+
+/// Fig. 8 rendered as a table with averages (also writes
+/// `results/fig8.csv`).
+#[must_use]
+pub fn fig8_report() -> String {
+    let rows_data = fig8();
+    let rows: Vec<Vec<String>> = rows_data
+        .iter()
+        .map(|r| {
+            vec![
+                r.network.clone(),
+                format!("{:.1}x", r.speedup_4tc),
+                format!("{:.1}x", r.speedup_2sma),
+                format!("{:.1}x", r.speedup_3sma),
+                format!("{:.2}", r.energy_2sma),
+                format!("{:.2}", r.energy_3sma),
+            ]
+        })
+        .collect();
+    let headers = [
+        "network",
+        "4-TC speedup",
+        "2-SMA speedup",
+        "3-SMA speedup",
+        "2-SMA energy",
+        "3-SMA energy",
+    ];
+    let _ = write_csv("fig8", &headers, &rows);
+    let n = rows_data.len() as f64;
+    format!(
+        "Fig. 8 — iso-area comparison (batch-16 kernel study)\n\n{}\nAverage: 4-TC {:.1}x | 2-SMA {:.1}x | 3-SMA {:.1}x | energy 2-SMA {:.2} | 3-SMA {:.2}\n",
+        render_table(&headers, &rows),
+        rows_data.iter().map(|r| r.speedup_4tc).sum::<f64>() / n,
+        rows_data.iter().map(|r| r.speedup_2sma).sum::<f64>() / n,
+        rows_data.iter().map(|r| r.speedup_3sma).sum::<f64>() / n,
+        rows_data.iter().map(|r| r.energy_2sma).sum::<f64>() / n,
+        rows_data.iter().map(|r| r.energy_3sma).sum::<f64>() / n,
+    )
+}
+
+/// Fig. 9 (left and right) rendered as tables (also writes
+/// `results/fig9_left.csv` and `results/fig9_right.csv`).
+#[must_use]
+pub fn fig9_report() -> String {
+    let left: Vec<Vec<String>> = fig9_left()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.platform.to_string(),
+                format!("{:.1}", r.det_ms),
+                format!("{:.1}", r.tra_ms),
+                format!("{:.1}", r.loc_ms),
+                format!("{:.1}", r.frame_ms),
+            ]
+        })
+        .collect();
+    let lh = ["platform", "DET ms", "TRA ms", "LOC ms", "frame ms"];
+    let _ = write_csv("fig9_left", &lh, &left);
+    let right: Vec<Vec<String>> = fig9_right()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.skip.to_string(),
+                format!("{:.1}", r.tc_ms),
+                format!("{:.1}", r.sma_ms),
+            ]
+        })
+        .collect();
+    let rh = ["N", "TC ms", "SMA ms"];
+    let _ = write_csv("fig9_right", &rh, &right);
+    format!(
+        "Fig. 9 (left) — single-frame latency (100 ms target)\n\n{}\nFig. 9 (right) — frame latency vs detection interval N\n\n{}",
+        render_table(&lh, &left),
+        render_table(&rh, &right)
+    )
+}
+
+/// Table I rendered.
+#[must_use]
+pub fn table1_report() -> String {
+    let t1: Vec<Vec<String>> = table1().into_iter().map(|r| r.to_vec()).collect();
+    format!(
+        "Table I — Baseline GPU and SMA configurations\n\n{}",
+        render_table(&["", "GPGPU", "SMA"], &t1)
+    )
+}
+
+/// Table II rendered.
+#[must_use]
+pub fn table2_report() -> String {
+    let t2: Vec<Vec<String>> = table2()
+        .into_iter()
+        .map(|(n, c)| vec![n, c.to_string()])
+        .collect();
+    format!(
+        "Table II — CNN models\n\n{}",
+        render_table(&["network", "conv layers"], &t2)
+    )
+}
+
+fn tables_report() -> String {
+    format!("{}\n{}", table1_report(), table2_report())
+}
+
+// ---------------------------------------------------------------------
+// BENCH_sweep.json
+// ---------------------------------------------------------------------
+
+/// One pass of [`SweepReport`]: wall-clock, per-task timing, and the
+/// GEMM-cache activity the pass generated.
+#[derive(Debug, Clone)]
+pub struct PassReport {
+    /// Wall-clock milliseconds of the pass.
+    pub wall_ms: f64,
+    /// Worker threads.
+    pub threads: usize,
+    /// Per-task `(name, ms)` in task order.
+    pub tasks: Vec<(String, f64)>,
+    /// Per-platform GEMM-cache counter deltas for this pass.
+    pub cache: Vec<(&'static str, CacheStats)>,
+}
+
+impl PassReport {
+    /// Summarises a run, attributing it the cache deltas between two
+    /// [`cache_snapshot`]s taken around it.
+    #[must_use]
+    pub fn new(
+        run: &SweepRun,
+        before: &[(&'static str, CacheStats)],
+        after: &[(&'static str, CacheStats)],
+    ) -> Self {
+        let cache = after
+            .iter()
+            .map(|&(name, stats)| {
+                let earlier = before
+                    .iter()
+                    .find(|(n, _)| *n == name)
+                    .map_or(CacheStats::default(), |&(_, s)| s);
+                (name, stats.since(earlier))
+            })
+            .collect();
+        PassReport {
+            wall_ms: run.wall_ms,
+            threads: run.threads,
+            tasks: run.tasks.iter().map(|t| (t.name.clone(), t.ms)).collect(),
+            cache,
+        }
+    }
+}
+
+/// The serial-vs-planned-parallel wall-clock comparison written to
+/// `BENCH_sweep.json` by `all_experiments`.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// The serial reference pass (cold caches: every estimate computed).
+    pub serial: PassReport,
+    /// The planned-parallel pass (plans replay against warm caches).
+    pub parallel: PassReport,
+}
+
+impl SweepReport {
+    /// Wall-clock speedup of the planned-parallel pass over the serial
+    /// reference.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        if self.parallel.wall_ms > 0.0 {
+            self.serial.wall_ms / self.parallel.wall_ms
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Renders the report as JSON (hand-rolled: the serde shim carries
+    /// no serialiser).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        fn pass(out: &mut String, name: &str, p: &PassReport) {
+            let _ = write!(
+                out,
+                "  \"{name}\": {{\n    \"wall_ms\": {:.3},\n    \"threads\": {},\n    \"tasks\": [\n",
+                p.wall_ms, p.threads
+            );
+            for (i, (task, ms)) in p.tasks.iter().enumerate() {
+                let comma = if i + 1 == p.tasks.len() { "" } else { "," };
+                let _ = writeln!(
+                    out,
+                    "      {{\"name\": \"{}\", \"ms\": {ms:.3}}}{comma}",
+                    escape_json(task)
+                );
+            }
+            out.push_str("    ],\n    \"gemm_cache\": {\n");
+            for (i, (backend, stats)) in p.cache.iter().enumerate() {
+                let comma = if i + 1 == p.cache.len() { "" } else { "," };
+                let _ = writeln!(
+                    out,
+                    "      \"{}\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}}}{comma}",
+                    escape_json(backend),
+                    stats.hits,
+                    stats.misses,
+                    stats.hit_rate()
+                );
+            }
+            out.push_str("    }\n  }");
+        }
+
+        let mut out = String::from("{\n");
+        pass(&mut out, "serial", &self.serial);
+        out.push_str(",\n");
+        pass(&mut out, "parallel", &self.parallel);
+        let _ = write!(out, ",\n  \"speedup\": {:.3}\n}}\n", self.speedup());
+        out
+    }
+
+    /// Writes the JSON report to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_json(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_matches_serial_outputs_in_order() {
+        let execs = grid_executors(&[Platform::GpuSimd, Platform::Sma3], &[1, 16]);
+        let nets = [zoo::alexnet(), zoo::vgg_a()];
+        let sweep = Sweep::grid(&execs, &nets);
+        assert_eq!(sweep.len(), 8);
+        let serial = sweep.run_serial();
+        let parallel = sweep.run_parallel(4);
+        assert_eq!(serial.tasks.len(), parallel.tasks.len());
+        for (s, p) in serial.tasks.iter().zip(&parallel.tasks) {
+            assert_eq!(s.name, p.name, "task order must be preserved");
+            assert_eq!(s.output, p.output, "parallel output diverged: {}", s.name);
+        }
+    }
+
+    #[test]
+    fn stepwise_and_planned_cells_render_identically() {
+        let execs = grid_executors(&[Platform::GpuTensorCore, Platform::TpuHost], &[16]);
+        let nets = [zoo::deeplab()];
+        let planned = Sweep::grid_planned(&execs, &nets, 3).run_serial();
+        let stepwise = Sweep::grid_stepwise(&execs, &nets, 3).run_serial();
+        for (p, s) in planned.tasks.iter().zip(&stepwise.tasks) {
+            assert_eq!(p.name, s.name);
+            assert_eq!(p.output, s.output, "planned vs stepwise: {}", p.name);
+        }
+    }
+
+    #[test]
+    fn grid_covers_every_cell_and_labels_batches() {
+        let execs = grid_executors(&all_platforms(), &[1, 16]);
+        let sweep = Sweep::grid(&execs, &zoo_networks());
+        assert_eq!(sweep.len(), 5 * 2 * 7);
+        assert!(sweep
+            .tasks
+            .iter()
+            .any(|t| t.name() == "grid/3-SMA/b16/VGG-A"));
+    }
+
+    #[test]
+    fn report_json_is_well_formed_enough() {
+        let execs = grid_executors(&[Platform::Sma3], &[1]);
+        let nets = [zoo::alexnet()];
+        let sweep = Sweep::grid(&execs, &nets);
+        let before = cache_snapshot();
+        let serial = sweep.run_serial();
+        let mid = cache_snapshot();
+        let parallel = sweep.run_parallel(2);
+        let after = cache_snapshot();
+        let report = SweepReport {
+            serial: PassReport::new(&serial, &before, &mid),
+            parallel: PassReport::new(&parallel, &mid, &after),
+        };
+        let json = report.to_json();
+        for key in [
+            "\"serial\"",
+            "\"parallel\"",
+            "\"wall_ms\"",
+            "\"tasks\"",
+            "\"gemm_cache\"",
+            "\"hit_rate\"",
+            "\"speedup\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces"
+        );
+        assert!(report.speedup() > 0.0);
+    }
+
+    #[test]
+    fn json_escaping_handles_specials() {
+        assert_eq!(escape_json("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape_json("x\ny"), "x\\u000ay");
+    }
+
+    #[test]
+    fn thread_count_is_clamped_to_tasks() {
+        let execs = grid_executors(&[Platform::GpuSimd], &[1]);
+        let nets = [zoo::alexnet()];
+        let run = Sweep::grid(&execs, &nets).run_parallel(64);
+        assert_eq!(run.threads, 1);
+    }
+}

@@ -3,11 +3,15 @@
 use crate::layer::{Layer, LayerWork};
 use serde::{Deserialize, Serialize};
 use sma_tensor::GemmShape;
+use std::sync::Arc;
 
 /// An inference network: an ordered list of layers.
+///
+/// The name is reference-counted so profiles and execution plans can
+/// carry it without copying the string on every run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Network {
-    name: String,
+    name: Arc<str>,
     layers: Vec<Layer>,
 }
 
@@ -16,7 +20,7 @@ impl Network {
     #[must_use]
     pub fn new(name: impl Into<String>, layers: Vec<Layer>) -> Self {
         Network {
-            name: name.into(),
+            name: name.into().into(),
             layers,
         }
     }
@@ -25,6 +29,12 @@ impl Network {
     #[must_use]
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// A shared handle on the name (a refcount bump, not a string copy).
+    #[must_use]
+    pub fn name_shared(&self) -> Arc<str> {
+        Arc::clone(&self.name)
     }
 
     /// The layer table.

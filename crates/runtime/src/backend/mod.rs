@@ -60,6 +60,24 @@
 //! Wire it to an [`Executor`](crate::Executor) with
 //! [`ExecutorBuilder::backend`](crate::executor::ExecutorBuilder::backend)
 //! — no enum to extend, no match arms to chase.
+//!
+//! The same backend joins the parallel experiment sweep unchanged —
+//! `sma_bench::sweep::Sweep::grid` accepts any executor, custom backend
+//! or not:
+//!
+//! ```text
+//! let custom = Executor::builder(Platform::Sma2) // key used for labels
+//!     .backend(Arc::new(ArrayFlexBackend { /* as above */ }))
+//!     .build();
+//! let run = Sweep::grid(&[custom], &zoo_networks()).run_parallel(threads);
+//! ```
+//!
+//! (compiled and tested as the `sma_bench::sweep` module doctest; the
+//! bench crate sits above this one, so the snippet cannot run here).
+//! Prefer handing sweep workers a compiled plan
+//! ([`Executor::plan`](crate::Executor::plan)): replays never call back
+//! into the backend, so workers cannot contend on your [`GemmCache`] no
+//! matter how many threads the sweep fans across.
 
 mod gpu;
 mod tpu_host;
@@ -77,8 +95,9 @@ use sma_mem::MemStats;
 use sma_models::{Layer, LayerWork};
 use sma_tensor::GemmShape;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock, RwLock};
 
 /// Bytes shipped to the host for the CRF stage: FP32 unaries (21×513²),
 /// the softmax maps and the full-resolution guide image.
@@ -251,36 +270,117 @@ pub struct CacheStats {
     pub misses: u64,
 }
 
-/// A memoized `GemmShape → GemmEstimate` map.
+impl CacheStats {
+    /// Fraction of lookups served from the cache (0 when never queried).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Counter deltas since an earlier snapshot.
+    #[must_use]
+    pub fn since(&self, earlier: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+        }
+    }
+}
+
+/// Number of independent lock domains in a [`GemmCache`].
+///
+/// Shapes hash across shards, so concurrent executors contend only when
+/// they touch the same shard *and* at least one of them is writing.
+const CACHE_SHARDS: usize = 8;
+
+/// A memoized `GemmShape → GemmEstimate` map, sharded for readers.
 ///
 /// The experiment zoo re-runs identical conv shapes thousands of times
 /// across figures; analytical estimates are pure functions of the shape,
 /// so every backend caches them. Shared across threads (the registry
-/// hands out one backend instance per platform).
-#[derive(Debug, Default)]
+/// hands out one backend instance per platform), which makes the read
+/// path the hot path: the map is split into [`CACHE_SHARDS`] independent
+/// `RwLock` shards so steady-state lookups from concurrent executors
+/// never serialise on one global lock, and misses are computed *outside*
+/// any lock with a recheck on insert (estimates are pure, so a lost race
+/// costs one redundant computation, never a wrong answer).
+#[derive(Debug)]
 pub struct GemmCache {
-    map: Mutex<HashMap<GemmShape, GemmEstimate>>,
+    shards: [RwLock<HashMap<GemmShape, GemmEstimate>>; CACHE_SHARDS],
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
+impl Default for GemmCache {
+    fn default() -> Self {
+        GemmCache {
+            shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+}
+
 impl GemmCache {
+    fn shard(&self, shape: &GemmShape) -> &RwLock<HashMap<GemmShape, GemmEstimate>> {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        shape.hash(&mut hasher);
+        &self.shards[hasher.finish() as usize % CACHE_SHARDS]
+    }
+
     /// Returns the cached estimate for `shape`, computing and inserting
     /// it on first sight.
+    ///
+    /// `compute` runs outside every lock. If two threads miss the same
+    /// shape concurrently, both compute, the first inserts (one miss),
+    /// and the loser is served the inserted value (a hit): `misses` is
+    /// therefore exactly the number of shapes resident in the cache, and
+    /// `hits + misses` the number of calls.
     pub fn get_or_compute(
         &self,
         shape: GemmShape,
         compute: impl FnOnce() -> GemmEstimate,
     ) -> GemmEstimate {
-        let mut map = self.map.lock().expect("GEMM cache poisoned");
-        if let Some(est) = map.get(&shape) {
+        let shard = self.shard(&shape);
+        if let Some(est) = shard.read().expect("GEMM cache poisoned").get(&shape) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return *est;
         }
         let est = compute();
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        map.insert(shape, est);
-        est
+        let mut map = shard.write().expect("GEMM cache poisoned");
+        match map.entry(shape) {
+            std::collections::hash_map::Entry::Occupied(raced) => {
+                // Another thread inserted while we computed: serve the
+                // resident value so every caller observes one estimate.
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                *raced.get()
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                slot.insert(est);
+                est
+            }
+        }
+    }
+
+    /// Number of shapes resident across all shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("GEMM cache poisoned").len())
+            .sum()
+    }
+
+    /// True if no shape has been cached yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 
     /// Current hit/miss counters.
@@ -398,6 +498,69 @@ mod tests {
         assert_eq!(first.time_ms.to_bits(), again.time_ms.to_bits());
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn gemm_cache_counters_exact_under_contention() {
+        // 8 threads × 64 lookups over 16 shapes: misses must equal the
+        // number of distinct shapes (one insert each, even when two
+        // threads race the same shape) and every lookup must land in
+        // exactly one counter.
+        let cache = GemmCache::default();
+        let model = sma_core::SimdGemmModel::new(sma_sim::GpuConfig::volta());
+        const THREADS: u64 = 8;
+        const LOOKUPS: u64 = 64;
+        const SHAPES: u64 = 16;
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let (cache, model) = (&cache, &model);
+                scope.spawn(move || {
+                    for i in 0..LOOKUPS {
+                        let size = 32 + 8 * ((i + t) % SHAPES) as usize;
+                        let shape = GemmShape::square(size);
+                        let est = cache.get_or_compute(shape, || model.estimate(shape));
+                        assert!(est.time_ms > 0.0);
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.misses, SHAPES, "one insert per distinct shape");
+        assert_eq!(stats.hits + stats.misses, THREADS * LOOKUPS);
+        assert_eq!(cache.len() as u64, SHAPES);
+    }
+
+    #[test]
+    fn concurrent_readers_see_one_value_per_shape() {
+        let cache = GemmCache::default();
+        let model = sma_core::SimdGemmModel::new(sma_sim::GpuConfig::volta());
+        let shape = GemmShape::square(96);
+        let bits: Vec<u64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let (cache, model) = (&cache, &model);
+                    scope.spawn(move || {
+                        cache
+                            .get_or_compute(shape, || model.estimate(shape))
+                            .time_ms
+                            .to_bits()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(bits.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn cache_stats_rate_and_delta() {
+        let zero = CacheStats::default();
+        assert_eq!(zero.hit_rate(), 0.0);
+        let s = CacheStats { hits: 3, misses: 1 };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        let d = s.since(CacheStats { hits: 1, misses: 1 });
+        assert_eq!((d.hits, d.misses), (2, 0));
     }
 
     #[test]

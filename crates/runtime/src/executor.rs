@@ -1,6 +1,7 @@
 //! Network-on-platform execution profiles.
 
 use crate::backend::{Backend, IrregularWork, RuntimeError, CRF_HANDOFF_BYTES};
+use crate::plan::{NetworkPlan, PlannedStep};
 use crate::platform::Platform;
 use serde::{Deserialize, Serialize};
 use sma_energy::{EnergyBreakdown, EnergyModel};
@@ -26,8 +27,8 @@ pub struct LayerProfile {
 pub struct NetworkProfile {
     /// Platform executed on.
     pub platform: Platform,
-    /// Network name.
-    pub network: String,
+    /// Network name (shared with the [`Network`], not copied per run).
+    pub network: Arc<str>,
     /// Total milliseconds.
     pub total_ms: f64,
     /// Milliseconds in GEMM-compatible layers.
@@ -45,6 +46,21 @@ pub struct NetworkProfile {
 }
 
 impl NetworkProfile {
+    /// An all-zero profile with the per-layer table pre-sized.
+    pub(crate) fn empty(platform: Platform, network: Arc<str>, layer_capacity: usize) -> Self {
+        NetworkProfile {
+            platform,
+            network,
+            total_ms: 0.0,
+            gemm_ms: 0.0,
+            irregular_ms: 0.0,
+            transfer_ms: 0.0,
+            layers: Vec::with_capacity(layer_capacity),
+            mem: MemStats::default(),
+            sm_cycles: 0,
+        }
+    }
+
     /// Energy estimate of the profile under a model.
     #[must_use]
     pub fn energy(&self, model: &EnergyModel) -> EnergyBreakdown {
@@ -187,6 +203,12 @@ impl Executor {
         &self.backend
     }
 
+    /// The configured inference batch size.
+    #[must_use]
+    pub const fn batch(&self) -> usize {
+        self.batch
+    }
+
     /// Profiles one inference.
     ///
     /// # Panics
@@ -208,71 +230,110 @@ impl Executor {
     /// Propagates [`RuntimeError`] from the backend (e.g. a GEMM-only
     /// engine refusing a shape).
     pub fn try_run(&self, network: &Network) -> Result<NetworkProfile, RuntimeError> {
-        let mut profile = NetworkProfile {
-            platform: self.platform,
-            network: network.name().to_string(),
-            total_ms: 0.0,
-            gemm_ms: 0.0,
-            irregular_ms: 0.0,
-            transfer_ms: 0.0,
-            layers: Vec::new(),
-            mem: MemStats::default(),
-            sm_cycles: 0,
-        };
-
+        let mut profile =
+            NetworkProfile::empty(self.platform, network.name_shared(), network.layers().len());
         for (index, layer) in network.layers().iter().enumerate() {
-            if !self.include_postprocessing && matches!(layer, Layer::Crf { .. }) {
-                // The CRF *compute* is reported separately (paper §II-B),
-                // but offload backends still pay the hand-off transfer —
-                // their pipeline cannot produce the final output without
-                // the host. On-die backends price the transfer at zero.
-                let transfer = self.backend.transfer_ms(CRF_HANDOFF_BYTES);
-                if transfer > 0.0 {
-                    profile.transfer_ms += transfer;
-                    profile.total_ms += transfer;
-                    profile.irregular_ms += transfer;
-                }
-                continue;
+            if let Some(step) = self.step_for(index, layer)? {
+                step.apply(&mut profile);
             }
-            let (ms, path) = match layer.work() {
-                LayerWork::Gemm(mut shape) => {
-                    // The builder clamps batch to >= 1.
-                    shape.m *= self.batch;
-                    let est = self.backend.gemm(shape)?;
-                    profile.mem += est.mem;
-                    profile.sm_cycles += est.sm_cycles;
-                    let glue = if self.backend.applies_framework_overhead() {
-                        self.framework_ms_per_layer
-                    } else {
-                        0.0
-                    };
-                    (est.time_ms + glue, ExecPath::MatrixEngine)
-                }
-                LayerWork::Irregular { .. } => {
-                    // During irregular phases of dependent single-network
-                    // inference the substrate runs its baseline SIMD
-                    // lanes (boost 1.0); the SMA units' extra SIMD
-                    // capacity is exploited by the *autonomous*
-                    // scheduler, which raises the boost itself.
-                    let work = IrregularWork::from_layer(layer)
-                        .expect("irregular LayerWork implies irregular layer");
-                    let est = self.backend.irregular(work);
-                    profile.mem += est.mem;
-                    profile.sm_cycles += est.sm_cycles;
-                    profile.transfer_ms += est.transfer_ms;
-                    (est.time_ms, est.path)
-                }
-            };
-            match path {
-                ExecPath::MatrixEngine => profile.gemm_ms += ms,
-                ExecPath::SimdMode | ExecPath::TpuLowered | ExecPath::HostCpu => {
-                    profile.irregular_ms += ms;
-                }
-            }
-            profile.total_ms += ms;
-            profile.layers.push(LayerProfile { index, ms, path });
         }
         Ok(profile)
+    }
+
+    /// Compiles the network into a [`NetworkPlan`]: resolves every
+    /// layer's work once, applies the batch stacking, pre-warms the
+    /// backend's GEMM cache and freezes the per-layer contributions.
+    /// [`NetworkPlan::run`] then replays the profile without touching
+    /// the backend (no locks, no recomputation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the backend rejects a layer; use [`Executor::try_plan`]
+    /// to handle that as a value.
+    #[must_use]
+    pub fn plan(&self, network: &Network) -> NetworkPlan {
+        self.try_plan(network)
+            .expect("backend rejected a layer; use try_plan for fallible compilation")
+    }
+
+    /// Compiles the network into a [`NetworkPlan`], surfacing backend
+    /// rejections.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RuntimeError`] from the backend (e.g. a GEMM-only
+    /// engine refusing a shape).
+    pub fn try_plan(&self, network: &Network) -> Result<NetworkPlan, RuntimeError> {
+        let mut steps = Vec::with_capacity(network.layers().len());
+        for (index, layer) in network.layers().iter().enumerate() {
+            if let Some(step) = self.step_for(index, layer)? {
+                steps.push(step);
+            }
+        }
+        Ok(NetworkPlan::new(
+            self.platform,
+            network.name_shared(),
+            steps,
+        ))
+    }
+
+    /// Resolves one layer into its frozen contribution, dispatching
+    /// through the backend. `None` for a stage the configuration skips
+    /// outright (an excluded CRF on an on-die backend).
+    ///
+    /// Both [`Executor::try_run`] and [`Executor::try_plan`] go through
+    /// this — and both fold the result with [`PlannedStep::apply`] — so
+    /// plans replay bit-identically to step-by-step runs.
+    fn step_for(&self, index: usize, layer: &Layer) -> Result<Option<PlannedStep>, RuntimeError> {
+        if !self.include_postprocessing && matches!(layer, Layer::Crf { .. }) {
+            // The CRF *compute* is reported separately (paper §II-B),
+            // but offload backends still pay the hand-off transfer —
+            // their pipeline cannot produce the final output without
+            // the host. On-die backends price the transfer at zero.
+            let transfer = self.backend.transfer_ms(CRF_HANDOFF_BYTES);
+            return Ok((transfer > 0.0).then_some(PlannedStep::CrfHandoff {
+                transfer_ms: transfer,
+            }));
+        }
+        let step = match layer.work() {
+            LayerWork::Gemm(mut shape) => {
+                // The builder clamps batch to >= 1.
+                shape.m *= self.batch;
+                let est = self.backend.gemm(shape)?;
+                let glue = if self.backend.applies_framework_overhead() {
+                    self.framework_ms_per_layer
+                } else {
+                    0.0
+                };
+                PlannedStep::Layer {
+                    index,
+                    ms: est.time_ms + glue,
+                    path: ExecPath::MatrixEngine,
+                    mem: est.mem,
+                    sm_cycles: est.sm_cycles,
+                    transfer_ms: 0.0,
+                }
+            }
+            LayerWork::Irregular { .. } => {
+                // During irregular phases of dependent single-network
+                // inference the substrate runs its baseline SIMD
+                // lanes (boost 1.0); the SMA units' extra SIMD
+                // capacity is exploited by the *autonomous*
+                // scheduler, which raises the boost itself.
+                let work = IrregularWork::from_layer(layer)
+                    .expect("irregular LayerWork implies irregular layer");
+                let est = self.backend.irregular(work);
+                PlannedStep::Layer {
+                    index,
+                    ms: est.time_ms,
+                    path: est.path,
+                    mem: est.mem,
+                    sm_cycles: est.sm_cycles,
+                    transfer_ms: est.transfer_ms,
+                }
+            }
+        };
+        Ok(Some(step))
     }
 }
 

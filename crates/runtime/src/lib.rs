@@ -13,6 +13,10 @@
 //! * [`Executor`] — runs a [`sma_models::Network`] by dispatching every
 //!   layer through `dyn Backend`, configured with a builder
 //!   (`Executor::builder(p).batch(16).framework_ms(0.0).build()`);
+//! * [`plan`] — the compile-once/replay-many layer: [`Executor::plan`]
+//!   resolves every layer once into a [`NetworkPlan`] whose
+//!   [`NetworkPlan::run`] replays the profile with no locking and no
+//!   recomputation (the serving/sweep hot path);
 //! * [`autonomous`] — the autonomous-driving pipeline of §V-C
 //!   (DET/TRA/LOC with detection-frame skipping), including the dynamic
 //!   resource reallocation only temporal integration allows: on non-DET
@@ -24,6 +28,7 @@
 pub mod autonomous;
 pub mod backend;
 pub mod executor;
+pub mod plan;
 pub mod platform;
 
 pub use autonomous::{DrivingPipeline, FrameSchedule};
@@ -32,4 +37,5 @@ pub use backend::{
     RuntimeError, SimdBackend, SmaBackend, TensorCoreBackend, TpuHostBackend,
 };
 pub use executor::{Executor, ExecutorBuilder, LayerProfile, NetworkProfile};
+pub use plan::{NetworkPlan, PlannedStep};
 pub use platform::Platform;

@@ -1,0 +1,266 @@
+//! Compile-once/replay-many execution plans.
+//!
+//! [`Executor::try_run`](crate::Executor::try_run) re-derives every
+//! layer's work, re-stacks the batch and re-queries the backend's GEMM
+//! cache on *every* invocation. The expensive part — resolving
+//! [`LayerWork`](sma_models::LayerWork) and estimating GEMM latency — is
+//! shape-determined and identical across invocations, so a serving loop
+//! should pay it once. [`Executor::plan`](crate::Executor::plan) does
+//! exactly that: it walks the network once, applies the batch stacking,
+//! pre-warms the backend's GEMM estimates, and freezes each layer's
+//! `(ms, path, mem, sm_cycles)` contribution into a [`NetworkPlan`].
+//! [`NetworkPlan::run`] is then pure aggregation over the frozen steps:
+//! no locks, no `layer.work()` recomputation, no backend dispatch, and a
+//! single exactly-sized allocation for the per-layer records.
+//!
+//! Replays are bit-identical to the step-by-step executor — both paths
+//! fold the same [`PlannedStep`]s in the same order (pinned by
+//! `tests/golden_profiles.txt` and the plan-parity suite).
+//!
+//! ```
+//! use sma_models::zoo;
+//! use sma_runtime::{Executor, Platform};
+//!
+//! let exec = Executor::kernel_study(Platform::Sma3);
+//! let net = zoo::vgg_a();
+//! let plan = exec.plan(&net); // resolves work + warms the GEMM cache
+//! let replay = plan.run(); // lock-free aggregation
+//! let stepwise = exec.run(&net);
+//! assert_eq!(replay.total_ms.to_bits(), stepwise.total_ms.to_bits());
+//! ```
+
+use crate::backend::ExecPath;
+use crate::executor::{LayerProfile, NetworkProfile};
+use crate::platform::Platform;
+use serde::{Deserialize, Serialize};
+use sma_mem::MemStats;
+use std::sync::Arc;
+
+/// One frozen contribution of a [`NetworkPlan`].
+///
+/// Steps carry everything a replay needs; folding them into a
+/// [`NetworkProfile`] performs the same additions in the same order as
+/// [`Executor::try_run`](crate::Executor::try_run), so replays are
+/// bit-identical to step-by-step execution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PlannedStep {
+    /// A post-processing stage excluded from the profile whose host
+    /// hand-off still bills (offload backends cannot finish without the
+    /// host even when the CRF compute is reported separately).
+    CrfHandoff {
+        /// Milliseconds of host transfer.
+        transfer_ms: f64,
+    },
+    /// A profiled layer.
+    Layer {
+        /// Index in the network's layer table.
+        index: usize,
+        /// Milliseconds on the platform (framework glue included).
+        ms: f64,
+        /// Which execution path runs it.
+        path: ExecPath,
+        /// Frozen access ledger contribution.
+        mem: MemStats,
+        /// Frozen occupied SM-cycles contribution.
+        sm_cycles: u64,
+        /// Milliseconds of host transfer contained in `ms`.
+        transfer_ms: f64,
+    },
+}
+
+impl PlannedStep {
+    /// Folds this step into a profile.
+    ///
+    /// The accumulation order mirrors the executor's per-layer loop
+    /// exactly — both paths call this — which is what keeps plans and
+    /// step-by-step runs bit-identical.
+    pub(crate) fn apply(&self, profile: &mut NetworkProfile) {
+        match *self {
+            PlannedStep::CrfHandoff { transfer_ms } => {
+                profile.transfer_ms += transfer_ms;
+                profile.total_ms += transfer_ms;
+                profile.irregular_ms += transfer_ms;
+            }
+            PlannedStep::Layer {
+                index,
+                ms,
+                path,
+                mem,
+                sm_cycles,
+                transfer_ms,
+            } => {
+                profile.mem += mem;
+                profile.sm_cycles += sm_cycles;
+                profile.transfer_ms += transfer_ms;
+                match path {
+                    ExecPath::MatrixEngine => profile.gemm_ms += ms,
+                    ExecPath::SimdMode | ExecPath::TpuLowered | ExecPath::HostCpu => {
+                        profile.irregular_ms += ms;
+                    }
+                }
+                profile.total_ms += ms;
+                profile.layers.push(LayerProfile { index, ms, path });
+            }
+        }
+    }
+}
+
+/// A compiled execution of one network on one executor configuration.
+///
+/// Built by [`Executor::plan`](crate::Executor::plan) /
+/// [`Executor::try_plan`](crate::Executor::try_plan). Construction
+/// resolves every layer once (dispatching through the backend, which
+/// pre-warms its GEMM cache); [`NetworkPlan::run`] replays the frozen
+/// result without touching the backend at all, so replays take no locks
+/// and record zero cache misses — the shape a high-traffic serving loop
+/// or a parallel sweep wants.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetworkPlan {
+    platform: Platform,
+    network: Arc<str>,
+    steps: Vec<PlannedStep>,
+    profiled_layers: usize,
+}
+
+impl NetworkPlan {
+    pub(crate) fn new(platform: Platform, network: Arc<str>, steps: Vec<PlannedStep>) -> Self {
+        let profiled_layers = steps
+            .iter()
+            .filter(|s| matches!(s, PlannedStep::Layer { .. }))
+            .count();
+        NetworkPlan {
+            platform,
+            network,
+            steps,
+            profiled_layers,
+        }
+    }
+
+    /// Replays the plan into a fresh profile.
+    ///
+    /// Pure aggregation over the frozen steps: no backend dispatch, no
+    /// locking, no `layer.work()` recomputation, and the per-layer
+    /// vector is allocated once at its exact final size.
+    #[must_use]
+    pub fn run(&self) -> NetworkProfile {
+        let mut profile = NetworkProfile::empty(
+            self.platform,
+            Arc::clone(&self.network),
+            self.profiled_layers,
+        );
+        for step in &self.steps {
+            step.apply(&mut profile);
+        }
+        profile
+    }
+
+    /// The platform key the plan was compiled for.
+    #[must_use]
+    pub const fn platform(&self) -> Platform {
+        self.platform
+    }
+
+    /// The network name the plan was compiled from.
+    #[must_use]
+    pub fn network(&self) -> &str {
+        &self.network
+    }
+
+    /// The frozen steps, in execution order.
+    #[must_use]
+    pub fn steps(&self) -> &[PlannedStep] {
+        &self.steps
+    }
+
+    /// Number of profiled layers a replay will record.
+    #[must_use]
+    pub const fn layer_count(&self) -> usize {
+        self.profiled_layers
+    }
+
+    /// Total milliseconds of one replay (without building the profile).
+    #[must_use]
+    pub fn total_ms(&self) -> f64 {
+        self.steps
+            .iter()
+            .map(|s| match *s {
+                PlannedStep::CrfHandoff { transfer_ms } => transfer_ms,
+                PlannedStep::Layer { ms, .. } => ms,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Executor;
+    use sma_models::zoo;
+
+    #[test]
+    fn replay_matches_stepwise_run_bitwise() {
+        for platform in [Platform::GpuSimd, Platform::Sma3, Platform::TpuHost] {
+            let exec = Executor::new(platform);
+            let net = zoo::mask_rcnn();
+            let plan = exec.plan(&net);
+            let a = plan.run();
+            let b = exec.run(&net);
+            assert_eq!(a.total_ms.to_bits(), b.total_ms.to_bits());
+            assert_eq!(a.gemm_ms.to_bits(), b.gemm_ms.to_bits());
+            assert_eq!(a.irregular_ms.to_bits(), b.irregular_ms.to_bits());
+            assert_eq!(a.transfer_ms.to_bits(), b.transfer_ms.to_bits());
+            assert_eq!(a.sm_cycles, b.sm_cycles);
+            assert_eq!(a.mem, b.mem);
+            assert_eq!(a.layers.len(), b.layers.len());
+        }
+    }
+
+    #[test]
+    fn plan_metadata_is_frozen() {
+        let exec = Executor::builder(Platform::Sma2).batch(16).build();
+        let net = zoo::alexnet();
+        let plan = exec.try_plan(&net).unwrap();
+        assert_eq!(plan.platform(), Platform::Sma2);
+        assert_eq!(plan.network(), "AlexNet");
+        assert_eq!(plan.layer_count(), net.layers().len());
+        assert_eq!(plan.layer_count(), plan.run().layers.len());
+        assert!(plan.total_ms() > 0.0);
+        // total_ms() agrees with a replay up to summation order.
+        assert!((plan.total_ms() - plan.run().total_ms).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skipped_crf_handoff_survives_planning() {
+        // DeepLab without post-processing: on-die backends drop the CRF
+        // entirely; the TPU still pays the hand-off transfer.
+        let net = zoo::deeplab();
+        let on_die = Executor::builder(Platform::Sma3)
+            .postprocessing(false)
+            .build()
+            .plan(&net);
+        assert!(on_die
+            .steps()
+            .iter()
+            .all(|s| matches!(s, PlannedStep::Layer { .. })));
+        let tpu = Executor::builder(Platform::TpuHost)
+            .postprocessing(false)
+            .build()
+            .plan(&net);
+        assert!(tpu
+            .steps()
+            .iter()
+            .any(|s| matches!(s, PlannedStep::CrfHandoff { .. })));
+        assert!(tpu.run().transfer_ms > 0.0);
+    }
+
+    #[test]
+    fn replays_are_idempotent() {
+        let plan = Executor::kernel_study(Platform::GpuTensorCore).plan(&zoo::googlenet());
+        let first = plan.run();
+        for _ in 0..3 {
+            let again = plan.run();
+            assert_eq!(first.total_ms.to_bits(), again.total_ms.to_bits());
+            assert_eq!(first.layers.len(), again.layers.len());
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Shared fixtures for the integration suites: the evaluation's
+//! platform and network lists, defined once so every parity suite
+//! covers a new platform or zoo model the moment it lands.
+
+use sma::models::{zoo, Network};
+use sma::runtime::Platform;
+
+/// The five evaluated platforms, in golden-file order.
+#[must_use]
+pub fn platforms() -> [Platform; 5] {
+    [
+        Platform::GpuSimd,
+        Platform::GpuTensorCore,
+        Platform::Sma2,
+        Platform::Sma3,
+        Platform::TpuHost,
+    ]
+}
+
+/// Every zoo network the evaluation touches (Table II plus the
+/// autonomous-driving models).
+#[must_use]
+pub fn networks() -> Vec<Network> {
+    let mut nets = zoo::table2_models();
+    nets.push(zoo::goturn());
+    nets.push(zoo::orb_slam());
+    nets
+}

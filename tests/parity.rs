@@ -7,27 +7,13 @@
 //! even a 1-ulp drift in any layer of any network on any platform fails
 //! the test.
 
-use sma::models::{zoo, Network};
+use sma::models::Network;
 use sma::runtime::{DrivingPipeline, Executor, NetworkProfile, Platform};
 
+mod common;
+use common::{networks, platforms};
+
 const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_profiles.txt");
-
-fn platforms() -> [Platform; 5] {
-    [
-        Platform::GpuSimd,
-        Platform::GpuTensorCore,
-        Platform::Sma2,
-        Platform::Sma3,
-        Platform::TpuHost,
-    ]
-}
-
-fn networks() -> Vec<Network> {
-    let mut nets = zoo::table2_models();
-    nets.push(zoo::goturn());
-    nets.push(zoo::orb_slam());
-    nets
-}
 
 fn executor(platform: Platform, config: &str) -> Executor {
     match config {

@@ -1,0 +1,152 @@
+//! Plan parity: a compiled [`NetworkPlan`](sma::runtime::NetworkPlan)
+//! must replay bit-identically to step-by-step execution for every
+//! platform × zoo network × batch point, and replays must never touch
+//! the backend's GEMM cache.
+
+use sma::models::zoo;
+use sma::runtime::{Executor, NetworkProfile, Platform};
+
+mod common;
+use common::{networks, platforms};
+
+fn assert_bit_identical(context: &str, a: &NetworkProfile, b: &NetworkProfile) {
+    assert_eq!(a.platform, b.platform, "{context}: platform");
+    assert_eq!(a.network, b.network, "{context}: network name");
+    assert_eq!(
+        a.total_ms.to_bits(),
+        b.total_ms.to_bits(),
+        "{context}: total_ms {} vs {}",
+        a.total_ms,
+        b.total_ms
+    );
+    assert_eq!(
+        a.gemm_ms.to_bits(),
+        b.gemm_ms.to_bits(),
+        "{context}: gemm_ms"
+    );
+    assert_eq!(
+        a.irregular_ms.to_bits(),
+        b.irregular_ms.to_bits(),
+        "{context}: irregular_ms"
+    );
+    assert_eq!(
+        a.transfer_ms.to_bits(),
+        b.transfer_ms.to_bits(),
+        "{context}: transfer_ms"
+    );
+    assert_eq!(a.sm_cycles, b.sm_cycles, "{context}: sm_cycles");
+    assert_eq!(a.mem, b.mem, "{context}: access ledger");
+    assert_eq!(a.layers.len(), b.layers.len(), "{context}: layer count");
+    for (x, y) in a.layers.iter().zip(&b.layers) {
+        assert_eq!(x.index, y.index, "{context}: layer index");
+        assert_eq!(x.path, y.path, "{context}: layer {} path", x.index);
+        assert_eq!(
+            x.ms.to_bits(),
+            y.ms.to_bits(),
+            "{context}: layer {} ms",
+            x.index
+        );
+    }
+}
+
+/// Every platform × zoo network × batch {1, 16}: `NetworkPlan::run()`
+/// reproduces `Executor::run()` bit-for-bit (`to_bits` on every f64).
+#[test]
+fn plan_replay_is_bit_identical_to_stepwise_run() {
+    for network in networks() {
+        for platform in platforms() {
+            for batch in [1, 16] {
+                let exec = Executor::builder(platform).batch(batch).build();
+                let plan = exec.plan(&network);
+                let context = format!("{} on {} b{batch}", network.name(), platform.label());
+                assert_bit_identical(&context, &plan.run(), &exec.run(&network));
+                // The kernel-study configuration exercises the
+                // postprocessing-skip path too.
+                let kernel = Executor::builder(platform)
+                    .batch(batch)
+                    .framework_ms(0.0)
+                    .postprocessing(false)
+                    .build();
+                assert_bit_identical(
+                    &format!("{context} (kernel)"),
+                    &kernel.plan(&network).run(),
+                    &kernel.run(&network),
+                );
+            }
+        }
+    }
+}
+
+/// A planned replay performs zero GEMM-cache traffic: planning pre-warms
+/// the cache (misses), replays never query it again (no hits, no
+/// misses).
+#[test]
+fn planned_replay_performs_zero_cache_misses() {
+    use sma::runtime::backend::{Backend, SmaBackend};
+    use std::sync::Arc;
+
+    // A private backend instance so concurrent tests sharing the global
+    // registry cannot perturb the counters.
+    let backend: Arc<SmaBackend> = Arc::new(SmaBackend::iso_area_3sma());
+    let exec = Executor::builder(Platform::Sma3)
+        .batch(16)
+        .backend(Arc::clone(&backend) as Arc<dyn Backend>)
+        .build();
+
+    let mut plans = Vec::new();
+    for net in networks() {
+        plans.push(exec.plan(&net));
+    }
+    let after_planning = backend.gemm_cache_stats();
+    assert!(
+        after_planning.misses > 0,
+        "planning must populate the cache"
+    );
+
+    for plan in &plans {
+        for _ in 0..3 {
+            let profile = plan.run();
+            assert!(profile.total_ms > 0.0);
+        }
+    }
+    let after_replay = backend.gemm_cache_stats();
+    assert_eq!(
+        after_replay.misses, after_planning.misses,
+        "a planned replay recomputed an estimate"
+    );
+    assert_eq!(
+        after_replay.hits, after_planning.hits,
+        "a planned replay queried the cache"
+    );
+
+    // …and a later step-by-step run hits the plan-warmed cache: misses
+    // stay flat while hits climb.
+    for net in networks() {
+        let _ = exec.run(&net);
+    }
+    let after_rerun = backend.gemm_cache_stats();
+    assert_eq!(after_rerun.misses, after_planning.misses);
+    assert!(after_rerun.hits > after_planning.hits);
+}
+
+/// Concurrent replays of shared plans agree with the serial profile —
+/// the lock-free property the parallel sweep driver relies on.
+#[test]
+fn concurrent_replays_match_serial() {
+    let exec = Executor::kernel_study(Platform::Sma3);
+    let net = zoo::mask_rcnn();
+    let plan = exec.plan(&net);
+    let reference = plan.run();
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let (plan, reference) = (&plan, &reference);
+            scope.spawn(move || {
+                for _ in 0..50 {
+                    let p = plan.run();
+                    assert_eq!(p.total_ms.to_bits(), reference.total_ms.to_bits());
+                    assert_eq!(p.layers.len(), reference.layers.len());
+                }
+            });
+        }
+    });
+}
