@@ -1,0 +1,65 @@
+//! Simulated multi-shard serving benchmark.
+//!
+//! Generates one seeded open-loop trace over the default cluster (four
+//! shards on three platforms, three Table-II networks), then serves it
+//! under every batching policy × placement strategy combination,
+//! fanning each combo's shard drains across the sweep driver's worker
+//! threads. Per-combo latency percentiles, shard utilization and
+//! batch-size histograms land in `BENCH_serve.json`.
+//!
+//! Every reported number is simulated-clock, so the JSON is
+//! byte-identical for a given seed regardless of thread count or
+//! machine speed (the determinism suite pins this).
+//!
+//! Environment:
+//! * `SMA_SERVE_REQUESTS` — trace length (default 10000).
+//! * `SMA_SERVE_SEED` — trace seed (default 0xDAC2_0020).
+//! * `SMA_SERVE_JSON` — report path (default: `BENCH_serve.json`).
+//! * `SMA_SWEEP_THREADS` — worker threads per combo (default:
+//!   available parallelism).
+
+use sma_bench::serve::{default_scenario, run_matrix};
+use sma_bench::sweep;
+
+fn env_parse<T: std::str::FromStr>(key: &str, default: T) -> T {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let requests = env_parse("SMA_SERVE_REQUESTS", 10_000usize).max(1);
+    let seed = env_parse("SMA_SERVE_SEED", 0xDAC2_0020u64);
+    let threads = sweep::default_threads();
+
+    let scenario = match default_scenario(requests, seed) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("could not build the serving scenario: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "serving {requests} requests (seed {seed:#x}) over {} shards x {} networks, mean gap {:.3} ms, {threads} threads per combo",
+        scenario.cluster.shard_count(),
+        scenario.cluster.networks().len(),
+        scenario.mean_interarrival_ms,
+    );
+
+    let report = run_matrix(&scenario, threads);
+    for line in report.summary_lines() {
+        println!("{line}");
+    }
+
+    let path = std::env::var("SMA_SERVE_JSON").unwrap_or_else(|_| String::from("BENCH_serve.json"));
+    match report.write_json(&path) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => {
+            // The report is the point of this binary (CI uploads it as
+            // an artifact); a missing file must fail the build.
+            eprintln!("could not write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -6,11 +6,14 @@
 //! reports standalone; `benches/` wraps the hot paths in Criterion for
 //! regression tracking. `all_experiments` runs the whole evaluation
 //! serial and planned-parallel and writes the wall-clock comparison to
-//! `BENCH_sweep.json`.
+//! `BENCH_sweep.json`; `serve_sim` drives the [`serve`] matrix — every
+//! batching policy × placement strategy over one seeded trace — and
+//! writes the simulated-clock serving metrics to `BENCH_serve.json`.
 
 #![deny(missing_docs)]
 
 pub mod experiments;
+pub mod serve;
 pub mod sweep;
 pub mod table;
 

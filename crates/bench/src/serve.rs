@@ -1,0 +1,384 @@
+//! Serving-simulation benchmark: the policy × placement matrix over one
+//! seeded trace, shards fanned through the [`Sweep`] driver, results
+//! rendered into `BENCH_serve.json`.
+//!
+//! Everything in the report comes from the **simulated** clock — no
+//! wall-clock value is ever serialised — so the JSON is byte-identical
+//! across repeat runs and across any `SMA_SWEEP_THREADS` setting. The
+//! determinism suite pins exactly that.
+
+use crate::sweep::{escape_json, Sweep, SweepTask};
+use sma_models::zoo;
+use sma_runtime::serve::{
+    BatchPolicy, Deadline, Immediate, LeastOutstanding, LoadGenerator, Placement, PlatformAffinity,
+    Request, RoundRobin, ServeCluster, ServeOutcome, ServeSim, ShardReport, SizeK,
+};
+use sma_runtime::{Executor, Platform, RuntimeError};
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// A serving workload: the compiled cluster and the trace over it.
+#[derive(Debug, Clone)]
+pub struct ServeScenario {
+    /// The compiled shard/network/plan matrix, shared by every combo.
+    pub cluster: Arc<ServeCluster>,
+    /// The open-loop arrival trace.
+    pub trace: Vec<Request>,
+    /// Seed the trace was drawn from (recorded in the report).
+    pub seed: u64,
+    /// Mean interarrival gap of the trace, ms (recorded in the report).
+    pub mean_interarrival_ms: f64,
+    /// Mean batch-1 service time over the shard × network grid, ms —
+    /// the calibration the arrival rate and the deadline policy's wait
+    /// bound are both derived from (see [`mean_unit_service_ms`]).
+    pub mean_unit_service_ms: f64,
+}
+
+/// Mean batch-1 service time over a cluster's shard × network cells,
+/// ms (read straight off the compiled cost matrix).
+#[must_use]
+pub fn mean_unit_service_ms(cluster: &ServeCluster) -> f64 {
+    let matrix = cluster.unit_service_ms();
+    let cells: usize = matrix.iter().map(Vec::len).sum();
+    let total: f64 = matrix.iter().flatten().sum();
+    total / cells.max(1) as f64
+}
+
+/// The default benchmark cluster: four shards over three platforms
+/// (two 3-SMA, one 4-TC, one SIMD) hosting three Table-II networks,
+/// with the arrival rate calibrated to ~0.9 offered load at batch-1
+/// cost — enough pressure that batching policy and placement both
+/// visibly move the latency distribution.
+///
+/// # Errors
+///
+/// Propagates a backend rejecting a network during calibration.
+pub fn default_scenario(requests: usize, seed: u64) -> Result<ServeScenario, RuntimeError> {
+    let shards = vec![
+        Executor::new(Platform::Sma3),
+        Executor::new(Platform::Sma3),
+        Executor::new(Platform::GpuTensorCore),
+        Executor::new(Platform::GpuSimd),
+    ];
+    let networks = vec![zoo::alexnet(), zoo::vgg_a(), zoo::googlenet()];
+    let cluster = Arc::new(ServeCluster::try_new(shards, networks)?);
+    let mean_service = mean_unit_service_ms(&cluster);
+    let mean_interarrival_ms = mean_service / cluster.shard_count() as f64 * 1.1;
+    let trace =
+        LoadGenerator::new(seed, mean_interarrival_ms).trace(requests, cluster.networks().len());
+    Ok(ServeScenario {
+        cluster,
+        trace,
+        seed,
+        mean_interarrival_ms,
+        mean_unit_service_ms: mean_service,
+    })
+}
+
+/// The three batching policies of the benchmark matrix. `max_wait_ms`
+/// parameterises the deadline policy (a sensible value is one mean
+/// batch-1 service time).
+#[must_use]
+pub fn policy_matrix(max_wait_ms: f64) -> Vec<Arc<dyn BatchPolicy>> {
+    vec![
+        Arc::new(Immediate),
+        Arc::new(SizeK::new(8)),
+        Arc::new(Deadline::new(max_wait_ms, 16)),
+    ]
+}
+
+/// Fresh instances of the three placement strategies (placements carry
+/// cursor/backlog state, so every combo gets its own).
+#[must_use]
+pub fn placement_matrix() -> Vec<Box<dyn Placement>> {
+    vec![
+        Box::new(RoundRobin::default()),
+        Box::new(LeastOutstanding::default()),
+        Box::new(PlatformAffinity::default()),
+    ]
+}
+
+/// Drains every shard of `sim` through the sweep driver's scoped worker
+/// threads and returns the reports in shard order.
+///
+/// Shard drains are pure `&self` computations, so the fan-out cannot
+/// change any result — only the wall-clock. (That property is what lets
+/// `BENCH_serve.json` stay byte-identical across thread counts.)
+///
+/// # Panics
+///
+/// Panics if the sweep driver loses a shard slot (a driver bug).
+#[must_use]
+pub fn run_shards(sim: &Arc<ServeSim>, threads: usize) -> Vec<ShardReport> {
+    let slots: Arc<Mutex<Vec<Option<ShardReport>>>> =
+        Arc::new(Mutex::new(vec![None; sim.shard_count()]));
+    let mut sweep = Sweep::new();
+    for shard in 0..sim.shard_count() {
+        let (sim, slots) = (Arc::clone(sim), Arc::clone(&slots));
+        sweep.push(SweepTask::new(format!("serve/shard{shard}"), move || {
+            let report = sim.simulate_shard(shard);
+            let line = format!(
+                "shard {shard} [{}]: {} requests / {} batches / busy {:.2} ms",
+                report.platform,
+                report.requests.len(),
+                report.batches.len(),
+                report.busy_ms
+            );
+            slots.lock().expect("serve slots poisoned")[shard] = Some(report);
+            line
+        }));
+    }
+    let _ = sweep.run_parallel(threads);
+    let mut slots = slots.lock().expect("serve slots poisoned");
+    slots
+        .iter_mut()
+        .map(|slot| slot.take().expect("every shard slot is filled"))
+        .collect()
+}
+
+/// One policy × placement cell of the benchmark matrix.
+#[derive(Debug, Clone)]
+pub struct ComboReport {
+    /// The batch policy's label.
+    pub policy: String,
+    /// The placement strategy's label.
+    pub placement: String,
+    /// The aggregated serving metrics.
+    pub outcome: ServeOutcome,
+}
+
+/// The full `BENCH_serve.json` payload.
+#[derive(Debug, Clone)]
+pub struct ServeBenchReport {
+    /// Trace length.
+    pub requests: usize,
+    /// Trace seed.
+    pub seed: u64,
+    /// Mean interarrival gap, ms.
+    pub mean_interarrival_ms: f64,
+    /// Backend name per shard.
+    pub shard_platforms: Vec<&'static str>,
+    /// Hosted network names.
+    pub network_names: Vec<String>,
+    /// One entry per policy × placement combination.
+    pub combos: Vec<ComboReport>,
+}
+
+impl ServeBenchReport {
+    /// Renders the report as JSON (hand-rolled: the serde shim carries
+    /// no serialiser). Only simulated-clock quantities appear, so the
+    /// output is a pure function of the scenario.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"config\": {\n");
+        let _ = writeln!(out, "    \"requests\": {},", self.requests);
+        let _ = writeln!(out, "    \"seed\": {},", self.seed);
+        let _ = writeln!(
+            out,
+            "    \"mean_interarrival_ms\": {:.6},",
+            self.mean_interarrival_ms
+        );
+        let _ = writeln!(
+            out,
+            "    \"shards\": [{}],",
+            self.shard_platforms
+                .iter()
+                .map(|p| format!("\"{}\"", escape_json(p)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        let _ = writeln!(
+            out,
+            "    \"networks\": [{}]",
+            self.network_names
+                .iter()
+                .map(|n| format!("\"{}\"", escape_json(n)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        out.push_str("  },\n  \"combos\": [\n");
+        for (i, combo) in self.combos.iter().enumerate() {
+            let comma = if i + 1 == self.combos.len() { "" } else { "," };
+            let o = &combo.outcome;
+            let _ = writeln!(out, "    {{");
+            let _ = writeln!(out, "      \"policy\": \"{}\",", escape_json(&combo.policy));
+            let _ = writeln!(
+                out,
+                "      \"placement\": \"{}\",",
+                escape_json(&combo.placement)
+            );
+            let _ = writeln!(out, "      \"requests\": {},", o.requests);
+            let _ = writeln!(out, "      \"p50_ms\": {:.6},", o.p50_ms);
+            let _ = writeln!(out, "      \"p99_ms\": {:.6},", o.p99_ms);
+            let _ = writeln!(out, "      \"mean_ms\": {:.6},", o.mean_ms);
+            let _ = writeln!(out, "      \"max_ms\": {:.6},", o.max_ms);
+            let _ = writeln!(out, "      \"makespan_ms\": {:.6},", o.makespan_ms);
+            let _ = writeln!(out, "      \"busy_ms\": {:.6},", o.busy_ms);
+            out.push_str("      \"shards\": [\n");
+            for (j, shard) in o.shards.iter().enumerate() {
+                let comma = if j + 1 == o.shards.len() { "" } else { "," };
+                let _ = writeln!(
+                    out,
+                    "        {{\"shard\": {}, \"platform\": \"{}\", \"requests\": {}, \"batches\": {}, \"busy_ms\": {:.6}, \"utilization\": {:.6}}}{comma}",
+                    shard.shard,
+                    escape_json(shard.platform),
+                    shard.requests,
+                    shard.batches,
+                    shard.busy_ms,
+                    shard.utilization,
+                );
+            }
+            out.push_str("      ],\n      \"batch_histogram\": {");
+            let hist = o
+                .batch_histogram
+                .iter()
+                .map(|(size, count)| format!("\"{size}\": {count}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push_str(&hist);
+            let _ = writeln!(out, "}}\n    }}{comma}");
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes the JSON report to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_json(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// One human-readable line per combo for console output.
+    #[must_use]
+    pub fn summary_lines(&self) -> Vec<String> {
+        self.combos
+            .iter()
+            .map(|combo| {
+                let o = &combo.outcome;
+                let mean_util = if o.shards.is_empty() {
+                    0.0
+                } else {
+                    o.shards.iter().map(|s| s.utilization).sum::<f64>() / o.shards.len() as f64
+                };
+                format!(
+                    "{:<10} x {:<17} p50 {:>9.2} ms | p99 {:>10.2} ms | util {:>5.1}% | {} batches",
+                    combo.policy,
+                    combo.placement,
+                    o.p50_ms,
+                    o.p99_ms,
+                    mean_util * 100.0,
+                    o.batch_histogram.iter().map(|&(_, n)| n).sum::<u64>(),
+                )
+            })
+            .collect()
+    }
+}
+
+/// Runs the full policy × placement matrix over one scenario, draining
+/// each combo's shards across `threads` sweep workers. The cluster
+/// (batch-1 plans + cost matrix) was compiled when the scenario was
+/// built and is shared by every combo — only admission and draining
+/// differ per cell.
+#[must_use]
+pub fn run_matrix(scenario: &ServeScenario, threads: usize) -> ServeBenchReport {
+    let max_wait_ms = scenario.mean_unit_service_ms;
+    let mut combos = Vec::new();
+    for policy in policy_matrix(max_wait_ms) {
+        for mut placement in placement_matrix() {
+            let sim = Arc::new(ServeSim::admit(
+                Arc::clone(&scenario.cluster),
+                Arc::clone(&policy),
+                placement.as_mut(),
+                &scenario.trace,
+            ));
+            let reports = run_shards(&sim, threads);
+            combos.push(ComboReport {
+                policy: policy.label(),
+                placement: placement.label(),
+                outcome: sim.outcome(&reports),
+            });
+        }
+    }
+    ServeBenchReport {
+        requests: scenario.trace.len(),
+        seed: scenario.seed,
+        mean_interarrival_ms: scenario.mean_interarrival_ms,
+        shard_platforms: scenario.cluster.platforms().to_vec(),
+        network_names: scenario
+            .cluster
+            .networks()
+            .iter()
+            .map(|n| n.name().to_string())
+            .collect(),
+        combos,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_scenario() -> ServeScenario {
+        default_scenario(150, 9).expect("default scenario compiles")
+    }
+
+    #[test]
+    fn matrix_covers_nine_combos_and_serves_everything() {
+        let report = run_matrix(&tiny_scenario(), 4);
+        assert_eq!(report.combos.len(), 9);
+        assert!(report.combos.iter().all(|c| c.outcome.requests == 150));
+        let labels: std::collections::BTreeSet<(String, String)> = report
+            .combos
+            .iter()
+            .map(|c| (c.policy.clone(), c.placement.clone()))
+            .collect();
+        assert_eq!(labels.len(), 9, "every combo labelled distinctly");
+    }
+
+    #[test]
+    fn sweep_fanout_matches_serial_drain() {
+        let scenario = tiny_scenario();
+        let sim = Arc::new(ServeSim::admit(
+            Arc::clone(&scenario.cluster),
+            Arc::new(SizeK::new(4)),
+            &mut RoundRobin::default(),
+            &scenario.trace,
+        ));
+        let serial = sim.run_serial();
+        let parallel = run_shards(&sim, 4);
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.shard, p.shard);
+            assert_eq!(s.busy_ms.to_bits(), p.busy_ms.to_bits());
+            assert_eq!(s.requests.len(), p.requests.len());
+            for (a, b) in s.requests.iter().zip(&p.requests) {
+                assert_eq!(a.id, b.id);
+                assert_eq!(a.completion_ms.to_bits(), b.completion_ms.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn json_is_balanced_and_carries_the_matrix() {
+        let report = run_matrix(&tiny_scenario(), 2);
+        let json = report.to_json();
+        for key in [
+            "\"config\"",
+            "\"combos\"",
+            "\"policy\"",
+            "\"placement\"",
+            "\"p50_ms\"",
+            "\"p99_ms\"",
+            "\"utilization\"",
+            "\"batch_histogram\"",
+        ] {
+            assert!(json.contains(key), "missing {key}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

@@ -362,26 +362,17 @@ pub fn grid_executors(platforms: &[Platform], batches: &[usize]) -> Vec<Executor
         .collect()
 }
 
-/// Every zoo network the evaluation touches (Table II plus the
-/// autonomous-driving models).
+/// Every zoo network the evaluation touches
+/// ([`zoo::evaluation_networks`]).
 #[must_use]
 pub fn zoo_networks() -> Vec<Network> {
-    let mut nets = zoo::table2_models();
-    nets.push(zoo::goturn());
-    nets.push(zoo::orb_slam());
-    nets
+    zoo::evaluation_networks()
 }
 
-/// All five evaluation platforms.
+/// All five evaluation platforms ([`Platform::ALL`]).
 #[must_use]
 pub fn all_platforms() -> [Platform; 5] {
-    [
-        Platform::GpuSimd,
-        Platform::GpuTensorCore,
-        Platform::Sma2,
-        Platform::Sma3,
-        Platform::TpuHost,
-    ]
+    Platform::ALL
 }
 
 /// Worker threads to use: `SMA_SWEEP_THREADS` if set, else the
@@ -731,7 +722,8 @@ impl SweepReport {
     }
 }
 
-fn escape_json(s: &str) -> String {
+/// Minimal JSON string escaping shared by the report writers.
+pub(crate) fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

@@ -409,6 +409,17 @@ pub fn orb_slam() -> Network {
     )
 }
 
+/// Every network the evaluation touches: the Table II census plus the
+/// autonomous-driving models — the single list the sweep grids and the
+/// parity/serving fixtures all iterate.
+#[must_use]
+pub fn evaluation_networks() -> Vec<Network> {
+    let mut nets = table2_models();
+    nets.push(goturn());
+    nets.push(orb_slam());
+    nets
+}
+
 /// The five Table II models in paper order.
 #[must_use]
 pub fn table2_models() -> Vec<Network> {

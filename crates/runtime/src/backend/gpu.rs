@@ -154,6 +154,10 @@ impl Backend for SimdBackend {
     fn gemm_cache_stats(&self) -> CacheStats {
         self.cache.stats()
     }
+
+    fn gemm_cache_len(&self) -> usize {
+        self.cache.len()
+    }
 }
 
 /// Volta with its four TensorCores doing the GEMMs (spatial integration).
@@ -208,6 +212,10 @@ impl Backend for TensorCoreBackend {
 
     fn gemm_cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    fn gemm_cache_len(&self) -> usize {
+        self.cache.len()
     }
 }
 
@@ -276,6 +284,10 @@ impl Backend for SmaBackend {
 
     fn gemm_cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    fn gemm_cache_len(&self) -> usize {
+        self.cache.len()
     }
 }
 

@@ -435,6 +435,14 @@ pub trait Backend: std::fmt::Debug + Send + Sync {
     fn gemm_cache_stats(&self) -> CacheStats {
         CacheStats::default()
     }
+
+    /// Number of distinct shapes resident in the backend's GEMM memo
+    /// cache (0 if the backend does not cache). Together with
+    /// [`Backend::gemm_cache_stats`] this lets callers check the cache
+    /// invariant `misses == resident shapes` end to end.
+    fn gemm_cache_len(&self) -> usize {
+        0
+    }
 }
 
 /// The five built-in backends, constructed once on first use and shared.

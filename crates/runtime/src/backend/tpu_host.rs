@@ -135,6 +135,10 @@ impl Backend for TpuHostBackend {
     fn gemm_cache_stats(&self) -> CacheStats {
         self.cache.stats()
     }
+
+    fn gemm_cache_len(&self) -> usize {
+        self.cache.len()
+    }
 }
 
 #[cfg(test)]

@@ -209,6 +209,17 @@ impl Executor {
         self.batch
     }
 
+    /// A copy of this executor at a different batch size, keeping the
+    /// backend instance and every other setting. The serving layer uses
+    /// this to compile one [`NetworkPlan`] per dynamic batch size
+    /// without re-resolving the backend.
+    #[must_use]
+    pub fn with_batch(&self, batch: usize) -> Executor {
+        let mut executor = self.clone();
+        executor.batch = batch.max(1);
+        executor
+    }
+
     /// Profiles one inference.
     ///
     /// # Panics

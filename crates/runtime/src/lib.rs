@@ -17,6 +17,10 @@
 //!   resolves every layer once into a [`NetworkPlan`] whose
 //!   [`NetworkPlan::run`] replays the profile with no locking and no
 //!   recomputation (the serving/sweep hot path);
+//! * [`serve`] — the simulated multi-shard serving layer above the
+//!   plans: seeded open-loop load generation, pluggable batching
+//!   policies and shard placement strategies, all on a deterministic
+//!   simulated clock;
 //! * [`autonomous`] — the autonomous-driving pipeline of §V-C
 //!   (DET/TRA/LOC with detection-frame skipping), including the dynamic
 //!   resource reallocation only temporal integration allows: on non-DET
@@ -30,6 +34,7 @@ pub mod backend;
 pub mod executor;
 pub mod plan;
 pub mod platform;
+pub mod serve;
 
 pub use autonomous::{DrivingPipeline, FrameSchedule};
 pub use backend::{

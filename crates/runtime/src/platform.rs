@@ -30,6 +30,17 @@ pub enum Platform {
 }
 
 impl Platform {
+    /// Every evaluated platform, in golden-file/report order — the
+    /// single source of truth the sweep grids and the parity fixtures
+    /// both iterate.
+    pub const ALL: [Platform; 5] = [
+        Platform::GpuSimd,
+        Platform::GpuTensorCore,
+        Platform::Sma2,
+        Platform::Sma3,
+        Platform::TpuHost,
+    ];
+
     /// Short label used in experiment tables (paper nomenclature).
     #[must_use]
     pub const fn label(self) -> &'static str {

@@ -1,0 +1,129 @@
+//! Aggregation of shard drains into serving metrics.
+
+use super::ShardReport;
+
+/// Per-shard aggregate of one serve run.
+#[derive(Debug, Clone)]
+pub struct ShardSummary {
+    /// Shard index.
+    pub shard: usize,
+    /// Backend name of the shard's executor.
+    pub platform: &'static str,
+    /// Requests the placement routed here.
+    pub requests: usize,
+    /// Batches the policy formed here.
+    pub batches: usize,
+    /// Simulated milliseconds the shard spent executing.
+    pub busy_ms: f64,
+    /// Busy fraction of the cluster-wide simulated horizon.
+    pub utilization: f64,
+}
+
+/// Cluster-wide metrics of one serve run.
+#[derive(Debug, Clone)]
+pub struct ServeOutcome {
+    /// Requests served (equals the trace length).
+    pub requests: usize,
+    /// Median request latency (queueing + batched execution), ms.
+    pub p50_ms: f64,
+    /// 99th-percentile request latency, ms.
+    pub p99_ms: f64,
+    /// Mean request latency, ms.
+    pub mean_ms: f64,
+    /// Worst request latency, ms.
+    pub max_ms: f64,
+    /// Simulated instant the last batch completed.
+    pub makespan_ms: f64,
+    /// Total simulated execution milliseconds across all shards.
+    pub busy_ms: f64,
+    /// Per-shard aggregates, in shard order.
+    pub shards: Vec<ShardSummary>,
+    /// `(batch size, batches formed)` in ascending size order.
+    pub batch_histogram: Vec<(usize, u64)>,
+}
+
+/// Percentile of an unsorted latency set (`p` in 0..=100): the sorted
+/// element at the rounded fractional index `p/100 · (n-1)` (no
+/// interpolation). Returns 0 for an empty set.
+#[must_use]
+pub fn percentile_ms(latencies: &[f64], p: f64) -> f64 {
+    let mut sorted = latencies.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    percentile_of_sorted(&sorted, p)
+}
+
+/// [`percentile_ms`] without the sort — `sorted` must be ascending.
+fn percentile_of_sorted(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Folds the per-shard drains into the cluster-wide outcome.
+#[must_use]
+pub fn aggregate(reports: &[ShardReport]) -> ServeOutcome {
+    let mut latencies: Vec<f64> = reports
+        .iter()
+        .flat_map(|r| r.requests.iter().map(|req| req.latency_ms()))
+        .collect();
+    let total_latency_ms: f64 = latencies.iter().sum();
+    latencies.sort_by(f64::total_cmp);
+    let makespan_ms = reports
+        .iter()
+        .map(|r| r.makespan_ms)
+        .fold(0.0_f64, f64::max);
+    let busy_ms: f64 = reports.iter().map(|r| r.busy_ms).sum();
+
+    let mut histogram = std::collections::BTreeMap::new();
+    for report in reports {
+        for batch in &report.batches {
+            *histogram.entry(batch.size).or_insert(0u64) += 1;
+        }
+    }
+
+    ServeOutcome {
+        requests: latencies.len(),
+        p50_ms: percentile_of_sorted(&latencies, 50.0),
+        p99_ms: percentile_of_sorted(&latencies, 99.0),
+        mean_ms: if latencies.is_empty() {
+            0.0
+        } else {
+            total_latency_ms / latencies.len() as f64
+        },
+        max_ms: latencies.last().copied().unwrap_or(0.0).max(0.0),
+        makespan_ms,
+        busy_ms,
+        shards: reports
+            .iter()
+            .map(|r| ShardSummary {
+                shard: r.shard,
+                platform: r.platform,
+                requests: r.requests.len(),
+                batches: r.batches.len(),
+                busy_ms: r.busy_ms,
+                utilization: if makespan_ms > 0.0 {
+                    r.busy_ms / makespan_ms
+                } else {
+                    0.0
+                },
+            })
+            .collect(),
+        batch_histogram: histogram.into_iter().collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile_ms(&v, 0.0), 1.0);
+        assert_eq!(percentile_ms(&v, 50.0), 3.0);
+        assert_eq!(percentile_ms(&v, 100.0), 5.0);
+        assert_eq!(percentile_ms(&[], 50.0), 0.0);
+    }
+}

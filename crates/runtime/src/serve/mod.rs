@@ -1,0 +1,654 @@
+//! Simulated multi-shard serving over compiled [`NetworkPlan`]s.
+//!
+//! The compile-once layer ([`Executor::plan`](crate::Executor::plan) →
+//! [`NetworkPlan::run`]) gives the runtime a lock-free replay
+//! primitive; this module builds the distribution layer above it: N
+//! shards, each an [`Executor`] holding pre-compiled plans for the
+//! networks it hosts, fed from an open-loop request trace through a
+//! pluggable [`BatchPolicy`] and [`Placement`] strategy.
+//!
+//! Everything runs on a **simulated clock**. Arrival times come from a
+//! seeded [`LoadGenerator`], service times from `NetworkPlan::run()`'s
+//! cost model, and queueing falls out of the event loop — the wall
+//! clock is never consulted, so a serve run is a pure function of
+//! (trace, cluster, policy, placement): byte-identical across repeat
+//! runs and across any worker-thread count.
+//!
+//! The simulation splits into three phases:
+//!
+//! 1. **Admission** (sequential): the [`Placement`] walks the trace in
+//!    arrival order and pins every request to a shard.
+//! 2. **Drain** (parallel-ready): [`ServeSim::simulate_shard`] drains
+//!    one shard's queues through its plans — a pure `&self` call, so
+//!    shards fan across threads (the bench crate drives this through
+//!    its sweep driver).
+//! 3. **Aggregation** (sequential): [`ServeSim::outcome`] folds the
+//!    shard reports into latency percentiles, utilization and the
+//!    batch-size histogram.
+//!
+//! ```
+//! use sma_models::zoo;
+//! use sma_runtime::serve::{Deadline, LoadGenerator, RoundRobin, ServeSim};
+//! use sma_runtime::{Executor, Platform};
+//! use std::sync::Arc;
+//!
+//! let shards = vec![
+//!     Executor::new(Platform::Sma3),
+//!     Executor::new(Platform::GpuTensorCore),
+//! ];
+//! let networks = vec![zoo::alexnet(), zoo::vgg_a()];
+//! let trace = LoadGenerator::new(7, 4.0).trace(200, networks.len());
+//! let sim = ServeSim::try_new(
+//!     shards,
+//!     networks,
+//!     Arc::new(Deadline::new(8.0, 16)),
+//!     &mut RoundRobin::default(),
+//!     &trace,
+//! )
+//! .unwrap();
+//! let reports = sim.run_serial();
+//! let outcome = sim.outcome(&reports);
+//! assert_eq!(outcome.requests, 200);
+//! assert!(outcome.p99_ms >= outcome.p50_ms);
+//! ```
+
+mod load;
+mod metrics;
+mod placement;
+mod policy;
+
+pub use load::{LoadGenerator, Request, SeededRng};
+pub use metrics::{aggregate, percentile_ms, ServeOutcome, ShardSummary};
+pub use placement::{ClusterView, LeastOutstanding, Placement, PlatformAffinity, RoundRobin};
+pub use policy::{BatchPolicy, Deadline, Immediate, PolicyDecision, SizeK};
+
+use crate::backend::RuntimeError;
+use crate::executor::Executor;
+use crate::plan::NetworkPlan;
+use sma_models::Network;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// One request after the drain: when it arrived, started and finished.
+#[derive(Debug, Clone, Copy)]
+pub struct ServedRequest {
+    /// Trace identity.
+    pub id: u64,
+    /// Index into the simulation's network table.
+    pub network: usize,
+    /// Simulated arrival, ms.
+    pub arrival_ms: f64,
+    /// Simulated instant its batch started executing, ms.
+    pub start_ms: f64,
+    /// Simulated instant its batch completed, ms.
+    pub completion_ms: f64,
+    /// Size of the batch that carried it.
+    pub batch_size: usize,
+}
+
+impl ServedRequest {
+    /// End-to-end latency: queueing plus batched execution.
+    #[must_use]
+    pub fn latency_ms(&self) -> f64 {
+        self.completion_ms - self.arrival_ms
+    }
+
+    /// Time spent queued before the batch launched.
+    #[must_use]
+    pub fn wait_ms(&self) -> f64 {
+        self.start_ms - self.arrival_ms
+    }
+}
+
+/// One executed batch: which plan replayed, when, and for how long.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchRecord {
+    /// Index into the simulation's network table.
+    pub network: usize,
+    /// Requests in the batch (the plan's batch dimension).
+    pub size: usize,
+    /// Simulated launch instant, ms.
+    pub start_ms: f64,
+    /// `NetworkPlan::run().total_ms` of the batched plan.
+    pub service_ms: f64,
+}
+
+/// Everything one shard did during its drain.
+#[derive(Debug, Clone)]
+pub struct ShardReport {
+    /// Shard index.
+    pub shard: usize,
+    /// Backend name of the shard's executor.
+    pub platform: &'static str,
+    /// Served requests, in completion order.
+    pub requests: Vec<ServedRequest>,
+    /// Executed batches, in launch order.
+    pub batches: Vec<BatchRecord>,
+    /// Simulated milliseconds spent executing.
+    pub busy_ms: f64,
+    /// Simulated instant the last batch completed (0 if idle).
+    pub makespan_ms: f64,
+    /// `(network, batch)` plan keys this drain compiled on top of the
+    /// pre-seeded batch-1 set, in compilation order.
+    pub plans_compiled: Vec<(usize, usize)>,
+}
+
+/// A compiled serving cluster: the shard executors, the hosted
+/// networks, and the batch-1 plan/cost matrix.
+///
+/// Everything here depends only on (executor, network) — not on the
+/// policy, placement or trace — so one cluster compiles once and is
+/// shared (via `Arc`) by every [`ServeSim`] admission over it, e.g.
+/// the nine policy × placement combos of the serving benchmark.
+#[derive(Debug)]
+pub struct ServeCluster {
+    shards: Vec<Executor>,
+    platforms: Vec<&'static str>,
+    networks: Vec<Network>,
+    /// `unit_plans[shard][network]`: pre-compiled batch-1 plan.
+    unit_plans: Vec<Vec<NetworkPlan>>,
+    /// `unit_service_ms[shard][network]`: one batch-1 replay's total.
+    unit_service_ms: Vec<Vec<f64>>,
+}
+
+impl ServeCluster {
+    /// Compiles a batch-1 [`NetworkPlan`] per shard × network (warming
+    /// each backend's GEMM cache) and freezes the cost matrix
+    /// placements consult.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`RuntimeError`] from a backend rejecting a
+    /// hosted network during plan compilation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` or `networks` is empty.
+    pub fn try_new(shards: Vec<Executor>, networks: Vec<Network>) -> Result<Self, RuntimeError> {
+        assert!(!shards.is_empty(), "a cluster needs at least one shard");
+        assert!(!networks.is_empty(), "a cluster needs at least one network");
+        let mut unit_plans = Vec::with_capacity(shards.len());
+        let mut unit_service_ms = Vec::with_capacity(shards.len());
+        for executor in &shards {
+            let mut plans = Vec::with_capacity(networks.len());
+            let mut costs = Vec::with_capacity(networks.len());
+            for network in &networks {
+                let plan = executor.with_batch(1).try_plan(network)?;
+                costs.push(plan.run().total_ms);
+                plans.push(plan);
+            }
+            unit_plans.push(plans);
+            unit_service_ms.push(costs);
+        }
+        Ok(ServeCluster {
+            platforms: shards.iter().map(|e| e.backend().name()).collect(),
+            shards,
+            networks,
+            unit_plans,
+            unit_service_ms,
+        })
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The hosted network table, in request-index order.
+    #[must_use]
+    pub fn networks(&self) -> &[Network] {
+        &self.networks
+    }
+
+    /// The executor behind a shard.
+    #[must_use]
+    pub fn shard_executor(&self, shard: usize) -> &Executor {
+        &self.shards[shard]
+    }
+
+    /// The batch-1 cost matrix (`[shard][network]`, ms).
+    #[must_use]
+    pub fn unit_service_ms(&self) -> &[Vec<f64>] {
+        &self.unit_service_ms
+    }
+
+    /// Backend name per shard, in shard order.
+    #[must_use]
+    pub fn platforms(&self) -> &[&'static str] {
+        &self.platforms
+    }
+
+    /// The pre-compiled batch-1 plan a shard holds for a network.
+    #[must_use]
+    pub fn unit_plan(&self, shard: usize, network: usize) -> &NetworkPlan {
+        &self.unit_plans[shard][network]
+    }
+
+    /// The immutable view placements decide from.
+    #[must_use]
+    pub fn view(&self) -> ClusterView<'_> {
+        ClusterView {
+            platforms: &self.platforms,
+            unit_service_ms: &self.unit_service_ms,
+        }
+    }
+}
+
+/// A fully admitted serving simulation, ready to drain.
+///
+/// Construction runs the placement over the trace against a compiled
+/// [`ServeCluster`]. [`ServeSim::simulate_shard`] is `&self` and pure,
+/// so shard drains parallelise freely.
+#[derive(Debug)]
+pub struct ServeSim {
+    cluster: Arc<ServeCluster>,
+    policy: Arc<dyn BatchPolicy>,
+    /// `assigned[shard]`: the requests routed there, arrival order.
+    assigned: Vec<Vec<Request>>,
+}
+
+impl ServeSim {
+    /// Compiles a fresh [`ServeCluster`] from `shards` × `networks`
+    /// and admits `trace` into it. To serve several traces or
+    /// policy/placement combinations over one cluster, compile the
+    /// cluster once and use [`ServeSim::admit`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`RuntimeError`] from a backend rejecting a
+    /// hosted network during plan compilation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` or `networks` is empty, if the trace is not
+    /// in arrival order, if a trace request names a network outside
+    /// the table, or if `placement` returns an out-of-range shard.
+    pub fn try_new(
+        shards: Vec<Executor>,
+        networks: Vec<Network>,
+        policy: Arc<dyn BatchPolicy>,
+        placement: &mut dyn Placement,
+        trace: &[Request],
+    ) -> Result<Self, RuntimeError> {
+        let cluster = Arc::new(ServeCluster::try_new(shards, networks)?);
+        Ok(Self::admit(cluster, policy, placement, trace))
+    }
+
+    /// Admits `trace` into an already-compiled cluster: walks the
+    /// requests in arrival order and lets `placement` pin each to a
+    /// shard. No plan compilation happens here, so re-admitting the
+    /// same cluster under different policies or placements is cheap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is not in arrival order, if a request names
+    /// a network outside the cluster's table, or if `placement`
+    /// returns an out-of-range shard.
+    #[must_use]
+    pub fn admit(
+        cluster: Arc<ServeCluster>,
+        policy: Arc<dyn BatchPolicy>,
+        placement: &mut dyn Placement,
+        trace: &[Request],
+    ) -> Self {
+        // The drain's admission cursor and the backlog-aware placements
+        // both assume arrival order; an unsorted trace would silently
+        // skew every latency, so reject it loudly here.
+        assert!(
+            trace.windows(2).all(|w| w[0].arrival_ms <= w[1].arrival_ms),
+            "trace must be sorted by arrival_ms"
+        );
+        let mut assigned: Vec<Vec<Request>> = vec![Vec::new(); cluster.shard_count()];
+        let view = cluster.view();
+        for request in trace {
+            assert!(
+                request.network < cluster.networks.len(),
+                "request {} targets unknown network {}",
+                request.id,
+                request.network
+            );
+            let shard = placement.assign(request, &view);
+            assert!(
+                shard < assigned.len(),
+                "placement routed request {} to shard {shard} of {}",
+                request.id,
+                assigned.len()
+            );
+            assigned[shard].push(*request);
+        }
+        ServeSim {
+            cluster,
+            policy,
+            assigned,
+        }
+    }
+
+    /// The compiled cluster this admission runs over.
+    #[must_use]
+    pub fn cluster(&self) -> &Arc<ServeCluster> {
+        &self.cluster
+    }
+
+    /// Number of shards in the cluster.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.cluster.shard_count()
+    }
+
+    /// The hosted network table, in request-index order.
+    #[must_use]
+    pub fn networks(&self) -> &[Network] {
+        self.cluster.networks()
+    }
+
+    /// The executor behind a shard.
+    #[must_use]
+    pub fn shard_executor(&self, shard: usize) -> &Executor {
+        self.cluster.shard_executor(shard)
+    }
+
+    /// The requests admission routed to a shard, in arrival order.
+    #[must_use]
+    pub fn assigned(&self, shard: usize) -> &[Request] {
+        &self.assigned[shard]
+    }
+
+    /// The batch-1 cost matrix (`[shard][network]`, ms) placements saw.
+    #[must_use]
+    pub fn unit_service_ms(&self) -> &[Vec<f64>] {
+        self.cluster.unit_service_ms()
+    }
+
+    /// Drains one shard's queues on the simulated clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard's backend rejects a batched plan compile;
+    /// use [`ServeSim::try_simulate_shard`] to handle that as a value
+    /// (the five built-in backends never reject a batch of a network
+    /// they already planned at batch 1, but a custom size-limited
+    /// backend may).
+    #[must_use]
+    pub fn simulate_shard(&self, shard: usize) -> ShardReport {
+        self.try_simulate_shard(shard)
+            .expect("backend rejected a batched plan; use try_simulate_shard")
+    }
+
+    /// Drains one shard's queues, surfacing backend rejections.
+    ///
+    /// Pure in `&self`: repeat calls (and calls from any thread) return
+    /// identical reports. Batched service time is a real
+    /// [`NetworkPlan::run`] replay of the plan compiled at the batch's
+    /// exact size, so serve-layer costs are bit-identical to direct
+    /// executor runs (pinned by the serve-parity suite).
+    ///
+    /// # Errors
+    ///
+    /// Propagates a [`RuntimeError`] from the backend rejecting a lazy
+    /// batched-plan compile mid-drain (a custom backend may accept a
+    /// shape at batch 1 but reject it scaled by the batch size).
+    pub fn try_simulate_shard(&self, shard: usize) -> Result<ShardReport, RuntimeError> {
+        let assigned = &self.assigned[shard];
+        let networks = self.cluster.networks();
+        // Service times memoized per (network, batch): each plan is
+        // compiled and replayed once, after which the batch costs one
+        // map lookup per dispatch. Batch-1 costs come from the
+        // cluster's pre-compiled plans (same `run().total_ms` fold, so
+        // bit-identical).
+        let mut service_cache: HashMap<(usize, usize), f64> = self.cluster.unit_service_ms[shard]
+            .iter()
+            .enumerate()
+            .map(|(net, &ms)| ((net, 1), ms))
+            .collect();
+        let mut plans_compiled = Vec::new();
+
+        let mut queues: Vec<VecDeque<Request>> = vec![VecDeque::new(); networks.len()];
+        let mut future_per_net = vec![0usize; networks.len()];
+        for request in assigned {
+            future_per_net[request.network] += 1;
+        }
+
+        let mut report = ShardReport {
+            shard,
+            platform: self.cluster.platforms[shard],
+            requests: Vec::with_capacity(assigned.len()),
+            batches: Vec::new(),
+            busy_ms: 0.0,
+            makespan_ms: 0.0,
+            plans_compiled: Vec::new(),
+        };
+
+        let mut next = 0usize; // cursor into the shard's assignment
+        let mut now_ms = 0.0_f64;
+        loop {
+            // Admit everything that has arrived by `now_ms`.
+            while next < assigned.len() && assigned[next].arrival_ms <= now_ms {
+                let request = assigned[next];
+                future_per_net[request.network] -= 1;
+                queues[request.network].push_back(request);
+                next += 1;
+            }
+            if next == assigned.len() && queues.iter().all(VecDeque::is_empty) {
+                break;
+            }
+
+            // Ask the policy about every non-empty queue; dispatch the
+            // ready queue whose head has waited longest (FIFO across
+            // networks, ties to the lowest network index).
+            let mut dispatch: Option<(usize, usize, f64)> = None; // (net, take, head arrival)
+            let mut wake_ms = f64::INFINITY;
+            for (net, queue) in queues.iter_mut().enumerate() {
+                if queue.is_empty() {
+                    continue;
+                }
+                // O(1) when the ring has not wrapped since the last
+                // front drain; policies see a plain FIFO slice.
+                let contiguous: &[Request] = queue.make_contiguous();
+                match self
+                    .policy
+                    .decide(contiguous, now_ms, future_per_net[net] > 0)
+                {
+                    PolicyDecision::Dispatch { take } => {
+                        let take = take.clamp(1, contiguous.len());
+                        let head = contiguous[0].arrival_ms;
+                        let earlier = dispatch.is_none_or(|(_, _, best)| head < best);
+                        if earlier {
+                            dispatch = Some((net, take, head));
+                        }
+                    }
+                    PolicyDecision::WaitUntil(at) => wake_ms = wake_ms.min(at),
+                    PolicyDecision::WaitForArrivals => {}
+                }
+            }
+
+            if let Some((net, take, _)) = dispatch {
+                let service_ms = match service_cache.entry((net, take)) {
+                    std::collections::hash_map::Entry::Occupied(hit) => *hit.get(),
+                    std::collections::hash_map::Entry::Vacant(slot) => {
+                        let plan = self
+                            .cluster
+                            .shard_executor(shard)
+                            .with_batch(take)
+                            .try_plan(&networks[net])?;
+                        plans_compiled.push((net, take));
+                        *slot.insert(plan.run().total_ms)
+                    }
+                };
+                let completion_ms = now_ms + service_ms;
+                report.batches.push(BatchRecord {
+                    network: net,
+                    size: take,
+                    start_ms: now_ms,
+                    service_ms,
+                });
+                for request in queues[net].drain(..take) {
+                    report.requests.push(ServedRequest {
+                        id: request.id,
+                        network: request.network,
+                        arrival_ms: request.arrival_ms,
+                        start_ms: now_ms,
+                        completion_ms,
+                        batch_size: take,
+                    });
+                }
+                report.busy_ms += service_ms;
+                report.makespan_ms = completion_ms;
+                now_ms = completion_ms;
+                continue;
+            }
+
+            // Nothing ready: advance to the next deadline expiry or the
+            // next arrival, whichever comes first.
+            if next < assigned.len() {
+                wake_ms = wake_ms.min(assigned[next].arrival_ms);
+            }
+            assert!(
+                wake_ms.is_finite() && wake_ms > now_ms,
+                "shard {shard} stalled at {now_ms} ms (policy never becomes ready)"
+            );
+            now_ms = wake_ms;
+        }
+
+        report.plans_compiled = plans_compiled;
+        Ok(report)
+    }
+
+    /// Drains every shard on the calling thread, in shard order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a backend rejects a batched plan compile; see
+    /// [`ServeSim::simulate_shard`].
+    #[must_use]
+    pub fn run_serial(&self) -> Vec<ShardReport> {
+        (0..self.shard_count())
+            .map(|s| self.simulate_shard(s))
+            .collect()
+    }
+
+    /// Drains every shard on the calling thread, surfacing backend
+    /// rejections.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`RuntimeError`] from a batched plan
+    /// compile; see [`ServeSim::try_simulate_shard`].
+    pub fn try_run_serial(&self) -> Result<Vec<ShardReport>, RuntimeError> {
+        (0..self.shard_count())
+            .map(|s| self.try_simulate_shard(s))
+            .collect()
+    }
+
+    /// Folds shard reports into the cluster-wide outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reports` is not one report per shard in shard order
+    /// (mixing reports across simulations would silently misattribute
+    /// utilization).
+    #[must_use]
+    pub fn outcome(&self, reports: &[ShardReport]) -> ServeOutcome {
+        assert_eq!(reports.len(), self.shard_count(), "one report per shard");
+        for (i, report) in reports.iter().enumerate() {
+            assert_eq!(report.shard, i, "reports must be in shard order");
+        }
+        aggregate(reports)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::Platform;
+    use sma_models::zoo;
+
+    fn small_sim(policy: Arc<dyn BatchPolicy>, placement: &mut dyn Placement) -> ServeSim {
+        let shards = vec![
+            Executor::new(Platform::Sma3),
+            Executor::new(Platform::GpuTensorCore),
+        ];
+        let networks = vec![zoo::alexnet(), zoo::vgg_a()];
+        let trace = LoadGenerator::new(11, 2.0).trace(120, networks.len());
+        ServeSim::try_new(shards, networks, policy, placement, &trace).unwrap()
+    }
+
+    #[test]
+    fn every_request_is_served_exactly_once() {
+        let sim = small_sim(Arc::new(Immediate), &mut RoundRobin::default());
+        let reports = sim.run_serial();
+        let mut ids: Vec<u64> = reports
+            .iter()
+            .flat_map(|r| r.requests.iter().map(|q| q.id))
+            .collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..120).collect::<Vec<u64>>());
+        let outcome = sim.outcome(&reports);
+        assert_eq!(outcome.requests, 120);
+        assert!(outcome.p50_ms > 0.0);
+    }
+
+    #[test]
+    fn batches_never_start_before_their_requests_arrive() {
+        let sim = small_sim(
+            Arc::new(Deadline::new(5.0, 8)),
+            &mut LeastOutstanding::default(),
+        );
+        for report in sim.run_serial() {
+            for request in &report.requests {
+                assert!(request.start_ms >= request.arrival_ms - 1e-12);
+                assert!(request.completion_ms > request.start_ms);
+            }
+            // Batches execute back to back, never overlapping.
+            for pair in report.batches.windows(2) {
+                assert!(pair[1].start_ms >= pair[0].start_ms + pair[0].service_ms - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn size_k_forms_full_batches_until_the_tail() {
+        let sim = small_sim(Arc::new(SizeK::new(4)), &mut RoundRobin::default());
+        let reports = sim.run_serial();
+        let sizes: Vec<usize> = reports
+            .iter()
+            .flat_map(|r| r.batches.iter().map(|b| b.size))
+            .collect();
+        assert!(sizes.iter().all(|&s| s <= 4));
+        assert!(
+            sizes.iter().filter(|&&s| s == 4).count() > sizes.len() / 2,
+            "most batches reach k: {sizes:?}"
+        );
+    }
+
+    #[test]
+    fn repeat_drains_are_identical() {
+        let sim = small_sim(
+            Arc::new(Deadline::new(3.0, 16)),
+            &mut PlatformAffinity::default(),
+        );
+        let a = sim.run_serial();
+        let b = sim.run_serial();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.busy_ms.to_bits(), y.busy_ms.to_bits());
+            assert_eq!(x.makespan_ms.to_bits(), y.makespan_ms.to_bits());
+            assert_eq!(x.requests.len(), y.requests.len());
+            for (p, q) in x.requests.iter().zip(&y.requests) {
+                assert_eq!(p.id, q.id);
+                assert_eq!(p.completion_ms.to_bits(), q.completion_ms.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn affinity_places_each_network_on_one_platform() {
+        let sim = small_sim(Arc::new(Immediate), &mut PlatformAffinity::default());
+        for net in 0..sim.networks().len() {
+            let hosts: std::collections::BTreeSet<&str> = (0..sim.shard_count())
+                .filter(|&s| sim.assigned(s).iter().any(|r| r.network == net))
+                .map(|s| sim.shard_executor(s).backend().name())
+                .collect();
+            assert!(hosts.len() <= 1, "network {net} spread over {hosts:?}");
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Shard placement strategies.
+//!
+//! Placement runs in the sequential admission phase of the simulation:
+//! requests are walked in arrival order and each is pinned to a shard
+//! before any shard starts draining. Strategies may keep mutable state
+//! (cursors, load estimates) — the walk order is deterministic, so the
+//! assignment is too.
+
+use super::load::Request;
+
+/// What a placement strategy may inspect: the cluster's shard table and
+/// the frozen batch-1 cost matrix.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterView<'a> {
+    /// Backend name per shard (e.g. `3-SMA`), in shard order.
+    pub platforms: &'a [&'static str],
+    /// `unit_service_ms[shard][network]`: total milliseconds of one
+    /// batch-1 inference of that network on that shard's backend (from
+    /// the pre-compiled plans, so it is the simulation's own cost
+    /// model, not an independent guess).
+    pub unit_service_ms: &'a [Vec<f64>],
+}
+
+impl ClusterView<'_> {
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.platforms.len()
+    }
+}
+
+/// Assigns every request to a shard.
+///
+/// Implementations see requests in arrival order and may carry state
+/// between calls; they must not consult anything outside their state
+/// and the [`ClusterView`] (determinism is load-bearing: the
+/// byte-identical-report guarantee of the serving benchmark rests on
+/// it).
+pub trait Placement: std::fmt::Debug + Send {
+    /// Short label used in reports (`round-robin`, `least-work`, …).
+    fn label(&self) -> String;
+
+    /// Picks the shard for `request` (must be `< cluster.shard_count()`).
+    fn assign(&mut self, request: &Request, cluster: &ClusterView<'_>) -> usize;
+}
+
+/// Cycles through the shards, ignoring cost and load entirely.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl Placement for RoundRobin {
+    fn label(&self) -> String {
+        "round-robin".into()
+    }
+
+    fn assign(&mut self, _request: &Request, cluster: &ClusterView<'_>) -> usize {
+        let shard = self.next % cluster.shard_count();
+        self.next = (self.next + 1) % cluster.shard_count();
+        shard
+    }
+}
+
+/// Least-outstanding-work: tracks a busy-horizon per shard (batch-1
+/// cost of everything assigned so far, drained at simulated-arrival
+/// pace) and routes each request to the shard with the smallest
+/// backlog at its arrival instant. Ties break to the lowest index.
+#[derive(Debug, Clone, Default)]
+pub struct LeastOutstanding {
+    busy_until_ms: Vec<f64>,
+}
+
+impl Placement for LeastOutstanding {
+    fn label(&self) -> String {
+        "least-work".into()
+    }
+
+    fn assign(&mut self, request: &Request, cluster: &ClusterView<'_>) -> usize {
+        self.busy_until_ms.resize(cluster.shard_count(), 0.0);
+        let shard = self
+            .busy_until_ms
+            .iter()
+            .map(|&busy| (busy - request.arrival_ms).max(0.0))
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let start = self.busy_until_ms[shard].max(request.arrival_ms);
+        self.busy_until_ms[shard] = start + cluster.unit_service_ms[shard][request.network];
+        shard
+    }
+}
+
+/// Affinity-by-platform: each network is pinned to the platform that
+/// serves it fastest at batch 1, then round-robins across the shards
+/// of that platform. Keeps every shard's plan working set small and
+/// each network on its best silicon, at the cost of ignoring load.
+///
+/// The candidate-shard set per network is a pure function of the
+/// (immutable) [`ClusterView`], so it is derived once on first sight
+/// of each network and memoized beside the round-robin cursor.
+#[derive(Debug, Clone, Default)]
+pub struct PlatformAffinity {
+    /// `(cursor, candidate shards)` per network, filled lazily.
+    per_network: Vec<Option<(usize, Vec<usize>)>>,
+}
+
+impl Placement for PlatformAffinity {
+    fn label(&self) -> String {
+        "platform-affinity".into()
+    }
+
+    fn assign(&mut self, request: &Request, cluster: &ClusterView<'_>) -> usize {
+        if self.per_network.len() <= request.network {
+            self.per_network.resize(request.network + 1, None);
+        }
+        let (cursor, candidates) = self.per_network[request.network].get_or_insert_with(|| {
+            let best = (0..cluster.shard_count())
+                .min_by(|&a, &b| {
+                    cluster.unit_service_ms[a][request.network]
+                        .total_cmp(&cluster.unit_service_ms[b][request.network])
+                        .then(a.cmp(&b))
+                })
+                .unwrap_or(0);
+            let preferred = cluster.platforms[best];
+            let candidates = (0..cluster.shard_count())
+                .filter(|&s| cluster.platforms[s] == preferred)
+                .collect();
+            (0, candidates)
+        });
+        let shard = candidates[*cursor % candidates.len()];
+        *cursor = (*cursor + 1) % candidates.len();
+        shard
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(network: usize, arrival_ms: f64) -> Request {
+        Request {
+            id: 0,
+            network,
+            arrival_ms,
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let costs = vec![vec![1.0], vec![1.0], vec![1.0]];
+        let view = ClusterView {
+            platforms: &["A", "B", "C"],
+            unit_service_ms: &costs,
+        };
+        let mut rr = RoundRobin::default();
+        let picks: Vec<usize> = (0..6).map(|_| rr.assign(&request(0, 0.0), &view)).collect();
+        assert_eq!(picks, [0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn least_outstanding_avoids_the_backlogged_shard() {
+        // Shard 0 is 10x slower: after it takes the first request, the
+        // next several all land on shard 1 until the backlogs balance.
+        let costs = vec![vec![10.0], vec![1.0]];
+        let view = ClusterView {
+            platforms: &["slow", "fast"],
+            unit_service_ms: &costs,
+        };
+        let mut lw = LeastOutstanding::default();
+        assert_eq!(
+            lw.assign(&request(0, 0.0), &view),
+            0,
+            "both idle: lowest index"
+        );
+        for _ in 0..10 {
+            assert_eq!(lw.assign(&request(0, 0.0), &view), 1);
+        }
+        // Backlogs now equal (10 vs 10): lowest index wins again.
+        assert_eq!(lw.assign(&request(0, 0.0), &view), 0);
+        // Backlog drains at simulated-arrival pace: far in the future
+        // both shards are idle again.
+        assert_eq!(lw.assign(&request(0, 1e6), &view), 0);
+    }
+
+    #[test]
+    fn affinity_routes_to_fastest_platform_round_robin() {
+        // Network 0 is fastest on platform "B" (shards 1 and 2);
+        // network 1 on "A" (shard 0 only).
+        let costs = vec![vec![5.0, 1.0], vec![2.0, 4.0], vec![2.0, 4.0]];
+        let view = ClusterView {
+            platforms: &["A", "B", "B"],
+            unit_service_ms: &costs,
+        };
+        let mut aff = PlatformAffinity::default();
+        let n0: Vec<usize> = (0..4)
+            .map(|_| aff.assign(&request(0, 0.0), &view))
+            .collect();
+        assert_eq!(n0, [1, 2, 1, 2], "round-robin over the B shards");
+        assert_eq!(aff.assign(&request(1, 0.0), &view), 0);
+    }
+}

@@ -19,7 +19,7 @@
 //! | [`core`] | the SMA architecture: units, controller, GEMM mapper |
 //! | [`accel`] | TPU / TensorCore / CPU baselines and TPU op lowering |
 //! | [`models`] | Table-II model zoo and functional hybrid operators |
-//! | [`runtime`] | platform executors and the autonomous-driving study |
+//! | [`runtime`] | platform executors, the serving layer, driving study |
 //!
 //! # Quickstart
 //!

@@ -1,28 +1,74 @@
 //! Shared fixtures for the integration suites: the evaluation's
-//! platform and network lists, defined once so every parity suite
-//! covers a new platform or zoo model the moment it lands.
+//! platform, network, batch and executor-config grids, defined once so
+//! every parity and serving suite covers a new platform, zoo model or
+//! batch point the moment it lands.
+
+// Each integration-test binary links this module and uses its own
+// subset of the fixtures.
+#![allow(dead_code)]
 
 use sma::models::{zoo, Network};
-use sma::runtime::Platform;
+use sma::runtime::serve::{LoadGenerator, Request};
+use sma::runtime::{Executor, Platform};
 
-/// The five evaluated platforms, in golden-file order.
+/// The five evaluated platforms, in golden-file order
+/// ([`Platform::ALL`] is the single source of truth, shared with the
+/// sweep driver's grid).
 #[must_use]
 pub fn platforms() -> [Platform; 5] {
-    [
-        Platform::GpuSimd,
-        Platform::GpuTensorCore,
-        Platform::Sma2,
-        Platform::Sma3,
-        Platform::TpuHost,
-    ]
+    Platform::ALL
 }
 
-/// Every zoo network the evaluation touches (Table II plus the
-/// autonomous-driving models).
+/// Every zoo network the evaluation touches
+/// ([`zoo::evaluation_networks`], shared with the sweep driver's
+/// grid).
 #[must_use]
 pub fn networks() -> Vec<Network> {
-    let mut nets = zoo::table2_models();
-    nets.push(zoo::goturn());
-    nets.push(zoo::orb_slam());
-    nets
+    zoo::evaluation_networks()
+}
+
+/// The batch points the plan-parity and serving grids iterate.
+#[must_use]
+pub fn batches() -> [usize; 2] {
+    [1, 16]
+}
+
+/// The executor configurations of the golden-parity grid, in
+/// golden-file order.
+#[must_use]
+pub fn configs() -> [&'static str; 3] {
+    ["default", "kernel", "nopost"]
+}
+
+/// Builds the executor for one golden-parity configuration label.
+#[must_use]
+pub fn executor(platform: Platform, config: &str) -> Executor {
+    match config {
+        "default" => Executor::new(platform),
+        "kernel" => Executor::kernel_study(platform),
+        "nopost" => Executor::builder(platform).postprocessing(false).build(),
+        other => panic!("unknown config {other}"),
+    }
+}
+
+/// A compact serving cluster over the full platform grid: one shard
+/// per evaluated platform (the serving suites iterate the same
+/// platform list as the parity suites).
+#[must_use]
+pub fn serve_shards() -> Vec<Executor> {
+    platforms().into_iter().map(Executor::new).collect()
+}
+
+/// A small, fast network subset for serving traces (the heavy hybrid
+/// models make sense per-inference but would dominate a 10k-request
+/// queueing test without changing what it pins).
+#[must_use]
+pub fn serve_networks() -> Vec<Network> {
+    vec![zoo::alexnet(), zoo::vgg_a(), zoo::googlenet()]
+}
+
+/// A seeded open-loop trace over [`serve_networks`].
+#[must_use]
+pub fn serve_trace(seed: u64, count: usize, mean_interarrival_ms: f64) -> Vec<Request> {
+    LoadGenerator::new(seed, mean_interarrival_ms).trace(count, serve_networks().len())
 }

@@ -8,21 +8,12 @@
 //! the test.
 
 use sma::models::Network;
-use sma::runtime::{DrivingPipeline, Executor, NetworkProfile, Platform};
+use sma::runtime::{DrivingPipeline, NetworkProfile, Platform};
 
 mod common;
-use common::{networks, platforms};
+use common::{configs, executor, networks, platforms};
 
 const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_profiles.txt");
-
-fn executor(platform: Platform, config: &str) -> Executor {
-    match config {
-        "default" => Executor::new(platform),
-        "kernel" => Executor::kernel_study(platform),
-        "nopost" => Executor::builder(platform).postprocessing(false).build(),
-        other => panic!("unknown config {other}"),
-    }
-}
 
 fn profile_line(platform: Platform, network: &Network, config: &str, p: &NetworkProfile) -> String {
     let m = &p.mem;
@@ -92,7 +83,7 @@ fn current_lines() -> Vec<String> {
     let mut lines = Vec::new();
     for network in networks() {
         for platform in platforms() {
-            for config in ["default", "kernel", "nopost"] {
+            for config in configs() {
                 let p = executor(platform, config).run(&network);
                 lines.push(profile_line(platform, &network, config, &p));
             }

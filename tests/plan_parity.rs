@@ -7,7 +7,7 @@ use sma::models::zoo;
 use sma::runtime::{Executor, NetworkProfile, Platform};
 
 mod common;
-use common::{networks, platforms};
+use common::{batches, networks, platforms};
 
 fn assert_bit_identical(context: &str, a: &NetworkProfile, b: &NetworkProfile) {
     assert_eq!(a.platform, b.platform, "{context}: platform");
@@ -55,7 +55,7 @@ fn assert_bit_identical(context: &str, a: &NetworkProfile, b: &NetworkProfile) {
 fn plan_replay_is_bit_identical_to_stepwise_run() {
     for network in networks() {
         for platform in platforms() {
-            for batch in [1, 16] {
+            for batch in batches() {
                 let exec = Executor::builder(platform).batch(batch).build();
                 let plan = exec.plan(&network);
                 let context = format!("{} on {} b{batch}", network.name(), platform.label());

@@ -1,0 +1,131 @@
+//! Serving-simulation system tests: byte-identical `BENCH_serve.json`
+//! across runs and thread counts, exact GEMM-cache invariants under
+//! serving concurrency, and distinct latency profiles across the
+//! policy × placement matrix.
+
+use sma::runtime::backend::{Backend, SmaBackend};
+use sma::runtime::serve::{RoundRobin, ServeSim, SizeK};
+use sma::runtime::{Executor, Platform};
+use sma_bench::serve::{default_scenario, run_matrix, run_shards};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+mod common;
+use common::{serve_networks, serve_trace};
+
+/// Same seed + same policy matrix ⇒ byte-identical report, whether the
+/// shard drains run on one sweep worker or many. Wall-clock leaking
+/// into the simulated clock would break this immediately.
+#[test]
+fn bench_serve_json_is_byte_identical_across_runs_and_threads() {
+    let first = run_matrix(&default_scenario(800, 42).unwrap(), 1);
+    let second = run_matrix(&default_scenario(800, 42).unwrap(), 4);
+    assert_eq!(
+        first.to_json(),
+        second.to_json(),
+        "serve report diverged across runs / thread counts"
+    );
+    // A different seed must actually change the report (the comparison
+    // above is not vacuous).
+    let other = run_matrix(&default_scenario(800, 43).unwrap(), 4);
+    assert_ne!(first.to_json(), other.to_json());
+}
+
+/// The acceptance grid: every policy × placement combination serves
+/// the same trace to a distinct, explainable latency/utilization
+/// profile (deterministic, so exact comparison is safe).
+#[test]
+fn policy_placement_combos_are_pairwise_distinct() {
+    let report = run_matrix(&default_scenario(1200, 0xDAC2_0020).unwrap(), 2);
+    assert_eq!(report.combos.len(), 9);
+    let profiles: BTreeSet<(u64, u64)> = report
+        .combos
+        .iter()
+        .map(|c| (c.outcome.p50_ms.to_bits(), c.outcome.p99_ms.to_bits()))
+        .collect();
+    assert_eq!(profiles.len(), 9, "two combos produced identical p50/p99");
+
+    for combo in &report.combos {
+        let o = &combo.outcome;
+        assert_eq!(o.requests, 1200);
+        assert!(o.p50_ms > 0.0 && o.p99_ms >= o.p50_ms && o.max_ms >= o.p99_ms);
+        assert!(o
+            .shards
+            .iter()
+            .all(|s| (0.0..=1.0 + 1e-9).contains(&s.utilization)));
+        let batched: u64 = o.batch_histogram.iter().map(|&(_, n)| n).sum();
+        assert!(batched > 0);
+        if combo.policy == "immediate" {
+            assert_eq!(
+                o.batch_histogram,
+                vec![(1, 1200)],
+                "immediate dispatch must never form a batch"
+            );
+        }
+    }
+}
+
+/// GemmCache invariants end-to-end under serving concurrency: eight
+/// shards share one backend instance and compile plans in parallel
+/// while draining; afterwards the shared cache's counters must balance
+/// exactly — `hits + misses == lookups` and `misses == resident
+/// shapes` — not just in isolation but through a full serve run.
+#[test]
+fn shared_gemm_cache_counters_stay_exact_through_a_serve_run() {
+    const SHARDS: usize = 8;
+    let backend: Arc<SmaBackend> = Arc::new(SmaBackend::iso_area_3sma());
+    let shards: Vec<Executor> = (0..SHARDS)
+        .map(|_| {
+            Executor::builder(Platform::Sma3)
+                .backend(Arc::clone(&backend) as Arc<dyn Backend>)
+                .build()
+        })
+        .collect();
+    let networks = serve_networks();
+    let gemm_layers: Vec<u64> = networks
+        .iter()
+        .map(|n| n.gemm_shapes().len() as u64)
+        .collect();
+
+    let sim = Arc::new(
+        ServeSim::try_new(
+            shards,
+            networks,
+            Arc::new(SizeK::new(5)),
+            &mut RoundRobin::default(),
+            &serve_trace(7, 2400, 0.5),
+        )
+        .unwrap(),
+    );
+    // Drain all shards concurrently: every worker hammers the one
+    // shared cache through its lazy batched-plan compiles.
+    let reports = run_shards(&sim, SHARDS);
+
+    // Every gemm() lookup is accounted for: admission compiled one
+    // batch-1 plan per shard x network, each drain compiled its
+    // recorded (network, batch) plans, and a plan compile performs one
+    // lookup per GEMM layer. Replays perform none.
+    let mut lookups: u64 = SHARDS as u64 * gemm_layers.iter().sum::<u64>();
+    for report in &reports {
+        for &(network, _batch) in &report.plans_compiled {
+            lookups += gemm_layers[network];
+        }
+    }
+
+    let stats = backend.gemm_cache_stats();
+    assert_eq!(
+        stats.hits + stats.misses,
+        lookups,
+        "a lookup escaped the counters"
+    );
+    assert_eq!(
+        stats.misses,
+        backend.gemm_cache_len() as u64,
+        "misses must equal resident shapes, even under contention"
+    );
+    assert!(stats.hits > 0, "concurrent shards must share estimates");
+
+    // And the serve run itself stayed coherent.
+    let served: usize = reports.iter().map(|r| r.requests.len()).sum();
+    assert_eq!(served, 2400);
+}
