@@ -1,7 +1,7 @@
 //! Simulated multi-shard serving benchmark.
 //!
-//! Generates one seeded open-loop trace over the default cluster (four
-//! shards on three platforms, three Table-II networks), then serves it
+//! Generates one seeded open-loop trace over the default cluster (six
+//! shards on five platforms, three Table-II networks), then serves it
 //! under every batching policy × placement strategy combination,
 //! fanning each combo's shard drains across the sweep driver's worker
 //! threads. Per-combo latency percentiles, shard utilization and

@@ -46,11 +46,19 @@ pub fn mean_unit_service_ms(cluster: &ServeCluster) -> f64 {
     total / cells.max(1) as f64
 }
 
-/// The default benchmark cluster: four shards over three platforms
-/// (two 3-SMA, one 4-TC, one SIMD) hosting three Table-II networks,
-/// with the arrival rate calibrated to ~0.9 offered load at batch-1
-/// cost — enough pressure that batching policy and placement both
-/// visibly move the latency distribution.
+/// The default benchmark cluster: six shards over five platforms
+/// (two 3-SMA, one 4-TC, one SIMD, one ArrayFlex, one FlexSA) hosting
+/// three Table-II networks, with the arrival rate calibrated to ~0.9
+/// offered load at batch-1 cost — enough pressure that batching policy
+/// and placement both visibly move the latency distribution.
+///
+/// The reconfigurable shards make the platform-affinity rows a
+/// cautionary tale on purpose: ArrayFlex is the fastest batch-1 shard
+/// for *every* hosted network (narrowly over FlexSA), so load-blind
+/// affinity routes the entire trace to that one shard and starves the
+/// other five — the benchmark shows the hotspot (p99 two orders above
+/// `least-work`) rather than hiding it. Affinity-with-load-awareness
+/// is on the ROADMAP's SLO-policy list.
 ///
 /// # Errors
 ///
@@ -61,6 +69,8 @@ pub fn default_scenario(requests: usize, seed: u64) -> Result<ServeScenario, Run
         Executor::new(Platform::Sma3),
         Executor::new(Platform::GpuTensorCore),
         Executor::new(Platform::GpuSimd),
+        Executor::new(Platform::ArrayFlex),
+        Executor::new(Platform::FlexSa),
     ];
     let networks = vec![zoo::alexnet(), zoo::vgg_a(), zoo::googlenet()];
     let cluster = Arc::new(ServeCluster::try_new(shards, networks)?);

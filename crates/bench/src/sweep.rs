@@ -17,8 +17,11 @@
 //!
 //! The grid accepts any [`Executor`], so an architecture plugged in via
 //! [`ExecutorBuilder::backend`](sma_runtime::ExecutorBuilder::backend)
-//! — the sixth-backend example of
-//! [`sma_runtime::backend`] — joins the parallel sweep unchanged:
+//! — the eighth-backend example of
+//! [`sma_runtime::backend`] — joins the parallel sweep unchanged. (The
+//! ArrayFlex and FlexSA backends joined the grid exactly this way
+//! before they were promoted to [`Platform`] keys; the recipe is
+//! `docs/ADDING_A_BACKEND.md`.)
 //!
 //! ```
 //! use sma_bench::sweep::Sweep;
@@ -35,15 +38,15 @@
 //! use std::sync::Arc;
 //!
 //! #[derive(Debug)]
-//! struct ArrayFlexBackend {
+//! struct RedasBackend {
 //!     gpu: GpuConfig,
 //!     model: SmaGemmModel,
 //!     cache: GemmCache,
 //! }
 //!
-//! impl Backend for ArrayFlexBackend {
+//! impl Backend for RedasBackend {
 //!     fn name(&self) -> &'static str {
-//!         "ArrayFlex"
+//!         "ReDas"
 //!     }
 //!     fn gemm(&self, shape: GemmShape) -> Result<GemmEstimate, RuntimeError> {
 //!         Ok(self.cache.get_or_compute(shape, || self.model.estimate(shape)))
@@ -62,7 +65,7 @@
 //! // One executor per batch point; the custom backend rides along with
 //! // the built-in platforms in the same grid.
 //! let custom = Executor::builder(Platform::Sma2) // key used for labelling
-//!     .backend(Arc::new(ArrayFlexBackend {
+//!     .backend(Arc::new(RedasBackend {
 //!         gpu: GpuConfig::volta(),
 //!         model: SmaGemmModel::new(SmaConfig::iso_flop_2sma()),
 //!         cache: GemmCache::default(),
@@ -369,9 +372,9 @@ pub fn zoo_networks() -> Vec<Network> {
     zoo::evaluation_networks()
 }
 
-/// All five evaluation platforms ([`Platform::ALL`]).
+/// All seven evaluation platforms ([`Platform::ALL`]).
 #[must_use]
-pub fn all_platforms() -> [Platform; 5] {
+pub fn all_platforms() -> [Platform; 7] {
     Platform::ALL
 }
 
@@ -773,11 +776,19 @@ mod tests {
     fn grid_covers_every_cell_and_labels_batches() {
         let execs = grid_executors(&all_platforms(), &[1, 16]);
         let sweep = Sweep::grid(&execs, &zoo_networks());
-        assert_eq!(sweep.len(), 5 * 2 * 7);
+        assert_eq!(sweep.len(), 7 * 2 * 7);
         assert!(sweep
             .tasks
             .iter()
             .any(|t| t.name() == "grid/3-SMA/b16/VGG-A"));
+        assert!(sweep
+            .tasks
+            .iter()
+            .any(|t| t.name() == "grid/ArrayFlex/b1/DeepLab"));
+        assert!(sweep
+            .tasks
+            .iter()
+            .any(|t| t.name() == "grid/FlexSA/b16/AlexNet"));
     }
 
     #[test]

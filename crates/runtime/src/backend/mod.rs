@@ -1,4 +1,4 @@
-//! The open execution API: one [`Backend`] trait, five built-in
+//! The open execution API: one [`Backend`] trait, seven built-in
 //! implementations, no platform special-cases anywhere downstream.
 //!
 //! The paper's thesis is that a single substrate serves both GEMM and
@@ -6,12 +6,15 @@
 //! trait covering both paths plus the host-transfer cost model. The
 //! [`Executor`](crate::Executor) and the autonomous-driving study
 //! dispatch *only* through `dyn Backend` — a new architecture plugs in
-//! without touching either.
+//! without touching either. The two reconfigurable-systolic designs the
+//! ROADMAP named ([`ArrayFlexBackend`], [`FlexSaBackend`]) landed
+//! exactly this way; the step-by-step recipe they followed is written
+//! down in `docs/ADDING_A_BACKEND.md`.
 //!
-//! # Adding a sixth backend
+//! # Adding an eighth backend
 //!
 //! A new backend is one struct and one `impl` — under 50 lines. Say you
-//! want ArrayFlex-style configurable-pipeline arrays:
+//! want a ReDas-style fine-grained reshaping array (PAPERS.md):
 //!
 //! ```
 //! use sma_runtime::backend::{
@@ -24,21 +27,21 @@
 //! use sma_tensor::GemmShape;
 //!
 //! #[derive(Debug)]
-//! struct ArrayFlexBackend {
+//! struct RedasBackend {
 //!     gpu: GpuConfig,
 //!     model: SmaGemmModel, // or your own latency model
 //!     cache: GemmCache,
 //! }
 //!
-//! impl Backend for ArrayFlexBackend {
+//! impl Backend for RedasBackend {
 //!     fn name(&self) -> &'static str {
-//!         "ArrayFlex"
+//!         "ReDas"
 //!     }
 //!     fn gemm(&self, shape: GemmShape) -> Result<GemmEstimate, RuntimeError> {
 //!         Ok(self.cache.get_or_compute(shape, || self.model.estimate(shape)))
 //!     }
 //!     fn irregular(&self, work: IrregularWork) -> IrregularEstimate {
-//!         // Reconfigurable arrays fall back to SIMD lanes, like SMA.
+//!         // Reshapable arrays fall back to SIMD lanes, like SMA.
 //!         gpu_irregular_estimate(&self.gpu, &work)
 //!     }
 //!     fn transfer_ms(&self, _bytes: u64) -> f64 {
@@ -49,7 +52,7 @@
 //!     }
 //! }
 //!
-//! let backend = ArrayFlexBackend {
+//! let backend = RedasBackend {
 //!     gpu: GpuConfig::volta(),
 //!     model: SmaGemmModel::new(SmaConfig::iso_flop_2sma()),
 //!     cache: GemmCache::default(),
@@ -67,7 +70,7 @@
 //!
 //! ```text
 //! let custom = Executor::builder(Platform::Sma2) // key used for labels
-//!     .backend(Arc::new(ArrayFlexBackend { /* as above */ }))
+//!     .backend(Arc::new(RedasBackend { /* as above */ }))
 //!     .build();
 //! let run = Sweep::grid(&[custom], &zoo_networks()).run_parallel(threads);
 //! ```
@@ -79,9 +82,17 @@
 //! into the backend, so workers cannot contend on your [`GemmCache`] no
 //! matter how many threads the sweep fans across.
 
+mod arrayflex;
+mod flexsa;
 mod gpu;
 mod tpu_host;
 
+pub use arrayflex::{
+    ArrayFlexBackend, ArrayFlexModel, PipelineConfig, ARRAYFLEX_COLS, ARRAYFLEX_ROWS,
+};
+pub use flexsa::{
+    FlexSaBackend, FlexSaMode, FlexSaModel, FLEXSA_FULL_DIM, FLEXSA_PRUNE_FRACTION, FLEXSA_SUB_DIM,
+};
 pub use gpu::{
     gpu_irregular_estimate, gpu_irregular_ledger, gpu_irregular_ms, SimdBackend, SmaBackend,
     TensorCoreBackend,
@@ -304,7 +315,7 @@ const CACHE_SHARDS: usize = 8;
 /// across figures; analytical estimates are pure functions of the shape,
 /// so every backend caches them. Shared across threads (the registry
 /// hands out one backend instance per platform), which makes the read
-/// path the hot path: the map is split into [`CACHE_SHARDS`] independent
+/// path the hot path: the map is split into `CACHE_SHARDS` independent
 /// `RwLock` shards so steady-state lookups from concurrent executors
 /// never serialise on one global lock, and misses are computed *outside*
 /// any lock with a recheck on insert (estimates are pure, so a lost race
@@ -445,9 +456,10 @@ pub trait Backend: std::fmt::Debug + Send + Sync {
     }
 }
 
-/// The five built-in backends, constructed once on first use and shared.
-fn registry() -> &'static [Arc<dyn Backend>; 5] {
-    static REGISTRY: OnceLock<[Arc<dyn Backend>; 5]> = OnceLock::new();
+/// The seven built-in backends, constructed once on first use and
+/// shared.
+fn registry() -> &'static [Arc<dyn Backend>; 7] {
+    static REGISTRY: OnceLock<[Arc<dyn Backend>; 7]> = OnceLock::new();
     REGISTRY.get_or_init(|| {
         [
             Arc::new(SimdBackend::new()),
@@ -455,6 +467,8 @@ fn registry() -> &'static [Arc<dyn Backend>; 5] {
             Arc::new(SmaBackend::iso_flop_2sma()),
             Arc::new(SmaBackend::iso_area_3sma()),
             Arc::new(TpuHostBackend::new()),
+            Arc::new(ArrayFlexBackend::new()),
+            Arc::new(FlexSaBackend::new()),
         ]
     })
 }
@@ -467,6 +481,8 @@ pub(crate) fn backend_for(platform: Platform) -> Arc<dyn Backend> {
         Platform::Sma2 => 2,
         Platform::Sma3 => 3,
         Platform::TpuHost => 4,
+        Platform::ArrayFlex => 5,
+        Platform::FlexSa => 6,
     };
     Arc::clone(&registry()[index])
 }
@@ -485,13 +501,7 @@ mod tests {
 
     #[test]
     fn names_match_platform_labels() {
-        for p in [
-            Platform::GpuSimd,
-            Platform::GpuTensorCore,
-            Platform::Sma2,
-            Platform::Sma3,
-            Platform::TpuHost,
-        ] {
+        for p in Platform::ALL {
             assert_eq!(backend_for(p).name(), p.label());
         }
     }

@@ -5,10 +5,12 @@
 //!
 //! * [`backend`] — the open execution API: one object-safe [`Backend`]
 //!   trait covering GEMM, irregular work and host transfers, with the
-//!   five evaluated architectures as cached implementations and room for
-//!   more (see the module docs for a worked sixth backend);
+//!   seven evaluated architectures as cached implementations and room
+//!   for more (see the module docs for a worked eighth backend, and
+//!   `docs/ADDING_A_BACKEND.md` for the full recipe);
 //! * [`Platform`] — the thin serialisable keys (GPU-SIMD, 4-TC, 2-SMA,
-//!   3-SMA, TPU+host), each resolving to its shared backend via
+//!   3-SMA, TPU+host, plus the reconfigurable-systolic ArrayFlex and
+//!   FlexSA), each resolving to its shared backend via
 //!   [`Platform::backend`];
 //! * [`Executor`] — runs a [`sma_models::Network`] by dispatching every
 //!   layer through `dyn Backend`, configured with a builder

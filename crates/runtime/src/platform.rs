@@ -1,11 +1,12 @@
 //! The platform keys of the evaluation.
 //!
-//! [`Platform`] is a thin, serialisable key naming the five evaluated
-//! architectures. All execution behaviour lives behind
-//! [`Platform::backend`], which returns the shared
-//! [`Backend`](crate::Backend) trait object for the key — the executor,
-//! the experiment harness and the application studies never match on the
-//! variant.
+//! [`Platform`] is a thin, serialisable key naming the seven evaluated
+//! architectures: the paper's five plus the two reconfigurable-systolic
+//! designs the ROADMAP named (ArrayFlex, FlexSA). All execution
+//! behaviour lives behind [`Platform::backend`], which returns the
+//! shared [`Backend`] trait object for the key — the
+//! executor, the experiment harness and the application studies never
+//! match on the variant.
 
 use crate::backend::{self, Backend, RuntimeError};
 use serde::{Deserialize, Serialize};
@@ -13,7 +14,7 @@ use sma_core::model::GemmEstimate;
 use sma_tensor::GemmShape;
 use std::sync::Arc;
 
-/// The five platforms of the evaluation.
+/// The seven platforms of the evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Platform {
     /// Baseline Volta SIMD lanes (FP32 CUTLASS-style GEMM).
@@ -27,18 +28,27 @@ pub enum Platform {
     Sma3,
     /// A TPU-v2 core plus host CPU over the cloud link.
     TpuHost,
+    /// One configurable-transparent-pipelining systolic array per SM
+    /// (ArrayFlex), selecting a pipeline depth per GEMM shape.
+    ArrayFlex,
+    /// One reconfigurable 16×16 ⇄ 4×8×8 tile per SM (FlexSA) with a
+    /// structured-pruning-aware irregular path.
+    FlexSa,
 }
 
 impl Platform {
     /// Every evaluated platform, in golden-file/report order — the
     /// single source of truth the sweep grids and the parity fixtures
-    /// both iterate.
-    pub const ALL: [Platform; 5] = [
+    /// both iterate. The paper's original five keep their positions;
+    /// the reconfigurable-systolic additions append after them.
+    pub const ALL: [Platform; 7] = [
         Platform::GpuSimd,
         Platform::GpuTensorCore,
         Platform::Sma2,
         Platform::Sma3,
         Platform::TpuHost,
+        Platform::ArrayFlex,
+        Platform::FlexSa,
     ];
 
     /// Short label used in experiment tables (paper nomenclature).
@@ -50,6 +60,8 @@ impl Platform {
             Platform::Sma2 => "2-SMA",
             Platform::Sma3 => "3-SMA",
             Platform::TpuHost => "TPU",
+            Platform::ArrayFlex => "ArrayFlex",
+            Platform::FlexSa => "FlexSA",
         }
     }
 
@@ -157,5 +169,19 @@ mod tests {
         assert_eq!(Platform::Sma2.simd_mode_boost(), 2.0);
         assert_eq!(Platform::Sma3.simd_mode_boost(), 3.0);
         assert_eq!(Platform::TpuHost.simd_mode_boost(), 0.0);
+        // The reconfigurable arrays reconfigure within the systolic
+        // domain, not into SIMD lanes.
+        assert_eq!(Platform::ArrayFlex.simd_mode_boost(), 1.0);
+        assert_eq!(Platform::FlexSa.simd_mode_boost(), 1.0);
+    }
+
+    #[test]
+    fn reconfigurable_platforms_serve_gpu_clock_estimates() {
+        let shape = GemmShape::square(1024);
+        for p in [Platform::ArrayFlex, Platform::FlexSa] {
+            let est = p.gemm(shape).unwrap();
+            assert!(est.time_ms > 0.0 && est.cycles > 0, "{p}");
+        }
+        assert_eq!(Platform::ALL.len(), 7);
     }
 }

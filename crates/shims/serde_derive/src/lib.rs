@@ -7,6 +7,8 @@
 //! (when a registry is reachable) changes no source line outside the
 //! manifests.
 
+#![deny(missing_docs)]
+
 use proc_macro::TokenStream;
 
 /// No-op stand-in for `serde_derive::Serialize`.

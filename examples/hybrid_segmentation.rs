@@ -74,17 +74,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Platform comparison on the real DeepLab ------------------------
     println!("\nDeepLab (network portion) across platforms:");
     let net = zoo::deeplab();
-    for p in [
-        Platform::GpuSimd,
-        Platform::GpuTensorCore,
-        Platform::Sma2,
-        Platform::Sma3,
-        Platform::TpuHost,
-    ] {
+    for p in Platform::ALL {
         let exec = Executor::builder(p).postprocessing(false).build();
         let prof = exec.run(&net);
         println!(
-            "  {:<5} {:>7.1} ms (gemm {:>6.1} + irregular {:>5.1} + transfer {:>5.1})",
+            "  {:<9} {:>7.1} ms (gemm {:>6.1} + irregular {:>5.1} + transfer {:>5.1})",
             p.label(),
             prof.total_ms,
             prof.gemm_ms,

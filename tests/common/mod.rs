@@ -11,11 +11,11 @@ use sma::models::{zoo, Network};
 use sma::runtime::serve::{LoadGenerator, Request};
 use sma::runtime::{Executor, Platform};
 
-/// The five evaluated platforms, in golden-file order
+/// The seven evaluated platforms, in golden-file order
 /// ([`Platform::ALL`] is the single source of truth, shared with the
 /// sweep driver's grid).
 #[must_use]
-pub fn platforms() -> [Platform; 5] {
+pub fn platforms() -> [Platform; 7] {
     Platform::ALL
 }
 

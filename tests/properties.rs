@@ -215,7 +215,10 @@ proptest! {
 
     /// End-to-end latency is monotone (non-decreasing) in batch size on
     /// every backend: batching stacks im2col GEMMs along `m` and can
-    /// never make an inference cheaper.
+    /// never make an inference cheaper. [`Platform::ALL`] keeps this
+    /// covering new platforms the moment they land — the reconfigurable
+    /// backends must stay monotone even where batch stacking flips
+    /// their per-shape pipeline/tile configuration.
     #[test]
     fn latency_monotone_in_batch(
         batch in 1usize..48,
@@ -223,13 +226,7 @@ proptest! {
     ) {
         use sma::runtime::{Executor, Platform};
         let net = sma::models::zoo::alexnet();
-        for platform in [
-            Platform::GpuSimd,
-            Platform::GpuTensorCore,
-            Platform::Sma2,
-            Platform::Sma3,
-            Platform::TpuHost,
-        ] {
+        for platform in Platform::ALL {
             let small = Executor::builder(platform).batch(batch).build();
             let large = Executor::builder(platform).batch(batch + delta).build();
             let t_small = small.run(&net).total_ms;
