@@ -1,24 +1,34 @@
-//! Simulated multi-shard serving benchmark.
+//! Event-driven multi-shard serving benchmark.
 //!
-//! Generates one seeded open-loop trace over the default cluster (six
-//! shards on five platforms, three Table-II networks), then serves it
-//! under every batching policy × placement strategy combination,
-//! fanning each combo's shard drains across the sweep driver's worker
-//! threads. Per-combo latency percentiles, shard utilization and
-//! batch-size histograms land in `BENCH_serve.json`.
+//! Generates one seeded open-loop trace (SLO deadlines stamped) over
+//! the default cluster (six shards on five platforms, three Table-II
+//! networks), then serves it through the discrete-event engine under
+//! every matrix cell: the legacy policy × placement block (preplaced
+//! admission, unbounded plan cache — pinned value-identical to the
+//! pre-engine pipeline) plus the online block (live-view placement,
+//! EDF, bounded plan cache with LRU eviction and compile-on-miss
+//! latency). Combos fan across the sweep driver's worker threads;
+//! per-combo latency percentiles (p50/p99/p99.9), goodput,
+//! deadline-miss, queue-depth and plan-cache stats land in
+//! `BENCH_serve.json`.
 //!
-//! Every reported number is simulated-clock, so the JSON is
-//! byte-identical for a given seed regardless of thread count or
-//! machine speed (the determinism suite pins this).
+//! Every reported number is simulated-clock and each combo's engine
+//! run is single-threaded, so the JSON is byte-identical for a given
+//! seed regardless of thread count or machine speed (the determinism
+//! suite and the CI double-run diff pin this).
 //!
 //! Environment:
 //! * `SMA_SERVE_REQUESTS` — trace length (default 10000).
 //! * `SMA_SERVE_SEED` — trace seed (default 0xDAC2_0020).
+//! * `SMA_SERVE_SLO_MS` — per-request latency SLO (default: 2.5 mean
+//!   batch-1 service times).
+//! * `SMA_SERVE_CACHE_KB` — bounded-row plan-cache budget per shard in
+//!   KiB (default: 1.25x the largest compiled plan).
 //! * `SMA_SERVE_JSON` — report path (default: `BENCH_serve.json`).
-//! * `SMA_SWEEP_THREADS` — worker threads per combo (default:
+//! * `SMA_SWEEP_THREADS` — worker threads across combos (default:
 //!   available parallelism).
 
-use sma_bench::serve::{default_scenario, run_matrix};
+use sma_bench::serve::{run_matrix, scenario, ScenarioOptions};
 use sma_bench::sweep;
 
 fn env_parse<T: std::str::FromStr>(key: &str, default: T) -> T {
@@ -28,12 +38,20 @@ fn env_parse<T: std::str::FromStr>(key: &str, default: T) -> T {
         .unwrap_or(default)
 }
 
+fn env_opt<T: std::str::FromStr>(key: &str) -> Option<T> {
+    std::env::var(key).ok().and_then(|v| v.parse().ok())
+}
+
 fn main() {
     let requests = env_parse("SMA_SERVE_REQUESTS", 10_000usize).max(1);
     let seed = env_parse("SMA_SERVE_SEED", 0xDAC2_0020u64);
+    let options = ScenarioOptions {
+        slo_ms: env_opt::<f64>("SMA_SERVE_SLO_MS"),
+        cache_budget_bytes: env_opt::<u64>("SMA_SERVE_CACHE_KB").map(|kb| kb * 1024),
+    };
     let threads = sweep::default_threads();
 
-    let scenario = match default_scenario(requests, seed) {
+    let scenario = match scenario(requests, seed, options) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("could not build the serving scenario: {e}");
@@ -41,10 +59,12 @@ fn main() {
         }
     };
     println!(
-        "serving {requests} requests (seed {seed:#x}) over {} shards x {} networks, mean gap {:.3} ms, {threads} threads per combo",
+        "serving {requests} requests (seed {seed:#x}) over {} shards x {} networks, mean gap {:.3} ms, slo {:.2} ms, bounded cache {} B, {threads} threads across combos",
         scenario.cluster.shard_count(),
         scenario.cluster.networks().len(),
         scenario.mean_interarrival_ms,
+        scenario.slo_ms,
+        scenario.bounded_cache_bytes,
     );
 
     let report = run_matrix(&scenario, threads);

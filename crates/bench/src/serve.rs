@@ -1,17 +1,33 @@
-//! Serving-simulation benchmark: the policy × placement matrix over one
-//! seeded trace, shards fanned through the [`Sweep`] driver, results
-//! rendered into `BENCH_serve.json`.
+//! Serving-simulation benchmark: the policy × placement × cache-budget
+//! matrix over one seeded trace, combos fanned through the [`Sweep`]
+//! driver, results rendered into `BENCH_serve.json`.
+//!
+//! The matrix has two blocks:
+//!
+//! * **Legacy block** (preplaced admission, unbounded plan cache, free
+//!   compiles): the three pre-engine policies × placements, running
+//!   under [`EngineConfig::legacy`]. These rows are pinned
+//!   value-identical to the pre-engine three-phase pipeline — the
+//!   refactor's honesty check.
+//! * **Online block**: the event engine proper — online placement with
+//!   a live [`ClusterView`](sma_runtime::serve::ClusterView), the EDF
+//!   SLO policy, and both an unbounded and a capacity-bounded plan
+//!   cache (LRU eviction, compile-on-miss billed as simulated
+//!   latency).
 //!
 //! Everything in the report comes from the **simulated** clock — no
-//! wall-clock value is ever serialised — so the JSON is byte-identical
-//! across repeat runs and across any `SMA_SWEEP_THREADS` setting. The
-//! determinism suite pins exactly that.
+//! wall-clock value is ever serialised — and each combo's engine run
+//! is single-threaded and deterministic, so the JSON is byte-identical
+//! across repeat runs and across any `SMA_SWEEP_THREADS` setting (the
+//! worker threads only decide which combo runs where). The determinism
+//! suite and a CI double-run `diff` pin exactly that.
 
 use crate::sweep::{escape_json, Sweep, SweepTask};
 use sma_models::zoo;
 use sma_runtime::serve::{
-    BatchPolicy, Deadline, Immediate, LeastOutstanding, LoadGenerator, Placement, PlatformAffinity,
-    Request, RoundRobin, ServeCluster, ServeOutcome, ServeSim, ShardReport, SizeK,
+    BatchPolicy, CacheBudget, Deadline, EarliestDeadlineFirst, EngineConfig, Immediate,
+    LeastBacklog, LeastOutstanding, LoadGenerator, Placement, PlatformAffinity, Request,
+    RoundRobin, ServeCluster, ServeOutcome, ServeSim, SizeK,
 };
 use sma_runtime::{Executor, Platform, RuntimeError};
 use std::fmt::Write as _;
@@ -19,21 +35,40 @@ use std::io;
 use std::path::Path;
 use std::sync::{Arc, Mutex};
 
-/// A serving workload: the compiled cluster and the trace over it.
+/// A serving workload: the compiled cluster, the trace over it, and
+/// the engine parameters every combo shares.
 #[derive(Debug, Clone)]
 pub struct ServeScenario {
     /// The compiled shard/network/plan matrix, shared by every combo.
     pub cluster: Arc<ServeCluster>,
-    /// The open-loop arrival trace.
+    /// The open-loop arrival trace (SLO deadlines stamped).
     pub trace: Vec<Request>,
     /// Seed the trace was drawn from (recorded in the report).
     pub seed: u64,
     /// Mean interarrival gap of the trace, ms (recorded in the report).
     pub mean_interarrival_ms: f64,
     /// Mean batch-1 service time over the shard × network grid, ms —
-    /// the calibration the arrival rate and the deadline policy's wait
-    /// bound are both derived from (see [`mean_unit_service_ms`]).
+    /// the calibration the arrival rate, the deadline policy's wait
+    /// bound, the EDF slack and the SLO target are all derived from
+    /// (see [`mean_unit_service_ms`]).
     pub mean_unit_service_ms: f64,
+    /// Per-request latency SLO stamped on the trace, ms.
+    pub slo_ms: f64,
+    /// Plan-cache budget of the bounded-cache rows, bytes per shard.
+    pub bounded_cache_bytes: u64,
+    /// Simulated compile cost billed per network layer on a plan-cache
+    /// miss (online rows; the legacy block compiles for free).
+    pub compile_ms_per_layer: f64,
+}
+
+/// Overrides for the derived scenario parameters (`None` = derive from
+/// the cluster's own cost matrix).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScenarioOptions {
+    /// Per-request latency SLO, ms.
+    pub slo_ms: Option<f64>,
+    /// Bounded-row plan-cache budget, bytes per shard.
+    pub cache_budget_bytes: Option<u64>,
 }
 
 /// Mean batch-1 service time over a cluster's shard × network cells,
@@ -52,18 +87,40 @@ pub fn mean_unit_service_ms(cluster: &ServeCluster) -> f64 {
 /// offered load at batch-1 cost — enough pressure that batching policy
 /// and placement both visibly move the latency distribution.
 ///
+/// Derived parameters (all overridable via [`ScenarioOptions`]):
+/// * the SLO target is 2.5 mean batch-1 service times — tight enough
+///   that the tail misses it under every policy, loose enough that
+///   EDF visibly changes the miss count;
+/// * the bounded-cache budget is 1.25× the largest compiled plan, so
+///   a single plan always fits (no admission rejections in the
+///   default matrix) but a shard hosting all three networks must
+///   evict.
+///
 /// The reconfigurable shards make the platform-affinity rows a
 /// cautionary tale on purpose: ArrayFlex is the fastest batch-1 shard
 /// for *every* hosted network (narrowly over FlexSA), so load-blind
 /// affinity routes the entire trace to that one shard and starves the
 /// other five — the benchmark shows the hotspot (p99 two orders above
-/// `least-work`) rather than hiding it. Affinity-with-load-awareness
-/// is on the ROADMAP's SLO-policy list.
+/// `least-work`) rather than hiding it. The online block's
+/// `least-backlog` placement is the load-aware answer.
 ///
 /// # Errors
 ///
 /// Propagates a backend rejecting a network during calibration.
 pub fn default_scenario(requests: usize, seed: u64) -> Result<ServeScenario, RuntimeError> {
+    scenario(requests, seed, ScenarioOptions::default())
+}
+
+/// [`default_scenario`] with explicit overrides.
+///
+/// # Errors
+///
+/// Propagates a backend rejecting a network during calibration.
+pub fn scenario(
+    requests: usize,
+    seed: u64,
+    options: ScenarioOptions,
+) -> Result<ServeScenario, RuntimeError> {
     let shards = vec![
         Executor::new(Platform::Sma3),
         Executor::new(Platform::Sma3),
@@ -76,20 +133,35 @@ pub fn default_scenario(requests: usize, seed: u64) -> Result<ServeScenario, Run
     let cluster = Arc::new(ServeCluster::try_new(shards, networks)?);
     let mean_service = mean_unit_service_ms(&cluster);
     let mean_interarrival_ms = mean_service / cluster.shard_count() as f64 * 1.1;
-    let trace =
-        LoadGenerator::new(seed, mean_interarrival_ms).trace(requests, cluster.networks().len());
+    let slo_ms = options.slo_ms.unwrap_or(2.5 * mean_service);
+    let max_plan_bytes = cluster
+        .unit_plan_bytes()
+        .iter()
+        .flatten()
+        .copied()
+        .max()
+        .unwrap_or(0);
+    let bounded_cache_bytes = options
+        .cache_budget_bytes
+        .unwrap_or(max_plan_bytes + max_plan_bytes / 4);
+    let trace = LoadGenerator::new(seed, mean_interarrival_ms)
+        .with_slo(slo_ms)
+        .trace(requests, cluster.networks().len());
     Ok(ServeScenario {
         cluster,
         trace,
         seed,
         mean_interarrival_ms,
         mean_unit_service_ms: mean_service,
+        slo_ms,
+        bounded_cache_bytes,
+        compile_ms_per_layer: 0.05,
     })
 }
 
-/// The three batching policies of the benchmark matrix. `max_wait_ms`
-/// parameterises the deadline policy (a sensible value is one mean
-/// batch-1 service time).
+/// The three pre-engine batching policies (the legacy block).
+/// `max_wait_ms` parameterises the deadline policy (a sensible value
+/// is one mean batch-1 service time).
 #[must_use]
 pub fn policy_matrix(max_wait_ms: f64) -> Vec<Arc<dyn BatchPolicy>> {
     vec![
@@ -99,62 +171,49 @@ pub fn policy_matrix(max_wait_ms: f64) -> Vec<Arc<dyn BatchPolicy>> {
     ]
 }
 
-/// Fresh instances of the three placement strategies (placements carry
-/// cursor/backlog state, so every combo gets its own).
+/// The online block's policies: the legacy three plus EDF with
+/// `slack_ms` of SLO headroom.
 #[must_use]
-pub fn placement_matrix() -> Vec<Box<dyn Placement>> {
+pub fn online_policy_matrix(max_wait_ms: f64, slack_ms: f64) -> Vec<Arc<dyn BatchPolicy>> {
+    let mut policies = policy_matrix(max_wait_ms);
+    policies.push(Arc::new(EarliestDeadlineFirst::new(slack_ms, 16)));
+    policies
+}
+
+/// A factory per placement strategy (placements carry cursor/backlog
+/// state, so every combo — and every engine run — needs a fresh one).
+pub type PlacementFactory = fn() -> Box<dyn Placement>;
+
+/// The legacy block's placements.
+#[must_use]
+pub fn placement_matrix() -> Vec<PlacementFactory> {
     vec![
-        Box::new(RoundRobin::default()),
-        Box::new(LeastOutstanding::default()),
-        Box::new(PlatformAffinity::default()),
+        || Box::new(RoundRobin::default()),
+        || Box::new(LeastOutstanding::default()),
+        || Box::new(PlatformAffinity::default()),
     ]
 }
 
-/// Drains every shard of `sim` through the sweep driver's scoped worker
-/// threads and returns the reports in shard order.
-///
-/// Shard drains are pure `&self` computations, so the fan-out cannot
-/// change any result — only the wall-clock. (That property is what lets
-/// `BENCH_serve.json` stay byte-identical across thread counts.)
-///
-/// # Panics
-///
-/// Panics if the sweep driver loses a shard slot (a driver bug).
+/// The online block's placements: the state-blind cycle and the
+/// live-backlog router the event engine makes possible.
 #[must_use]
-pub fn run_shards(sim: &Arc<ServeSim>, threads: usize) -> Vec<ShardReport> {
-    let slots: Arc<Mutex<Vec<Option<ShardReport>>>> =
-        Arc::new(Mutex::new(vec![None; sim.shard_count()]));
-    let mut sweep = Sweep::new();
-    for shard in 0..sim.shard_count() {
-        let (sim, slots) = (Arc::clone(sim), Arc::clone(&slots));
-        sweep.push(SweepTask::new(format!("serve/shard{shard}"), move || {
-            let report = sim.simulate_shard(shard);
-            let line = format!(
-                "shard {shard} [{}]: {} requests / {} batches / busy {:.2} ms",
-                report.platform,
-                report.requests.len(),
-                report.batches.len(),
-                report.busy_ms
-            );
-            slots.lock().expect("serve slots poisoned")[shard] = Some(report);
-            line
-        }));
-    }
-    let _ = sweep.run_parallel(threads);
-    let mut slots = slots.lock().expect("serve slots poisoned");
-    slots
-        .iter_mut()
-        .map(|slot| slot.take().expect("every shard slot is filled"))
-        .collect()
+pub fn online_placement_matrix() -> Vec<PlacementFactory> {
+    vec![|| Box::new(RoundRobin::default()), || {
+        Box::new(LeastBacklog)
+    }]
 }
 
-/// One policy × placement cell of the benchmark matrix.
+/// One cell of the benchmark matrix.
 #[derive(Debug, Clone)]
 pub struct ComboReport {
     /// The batch policy's label.
     pub policy: String,
     /// The placement strategy's label.
     pub placement: String,
+    /// Admission mode label (`preplaced` legacy shim / `online`).
+    pub admission: &'static str,
+    /// Plan-cache budget label (`unbounded` / `NKiB`).
+    pub cache_budget: String,
     /// The aggregated serving metrics.
     pub outcome: ServeOutcome,
 }
@@ -168,11 +227,17 @@ pub struct ServeBenchReport {
     pub seed: u64,
     /// Mean interarrival gap, ms.
     pub mean_interarrival_ms: f64,
+    /// Per-request latency SLO, ms.
+    pub slo_ms: f64,
+    /// Bounded-row plan-cache budget, bytes per shard.
+    pub bounded_cache_bytes: u64,
+    /// Compile cost billed per layer on a plan-cache miss, ms.
+    pub compile_ms_per_layer: f64,
     /// Backend name per shard.
     pub shard_platforms: Vec<&'static str>,
     /// Hosted network names.
     pub network_names: Vec<String>,
-    /// One entry per policy × placement combination.
+    /// One entry per matrix cell, legacy block first.
     pub combos: Vec<ComboReport>,
 }
 
@@ -189,6 +254,17 @@ impl ServeBenchReport {
             out,
             "    \"mean_interarrival_ms\": {:.6},",
             self.mean_interarrival_ms
+        );
+        let _ = writeln!(out, "    \"slo_ms\": {:.6},", self.slo_ms);
+        let _ = writeln!(
+            out,
+            "    \"bounded_cache_bytes\": {},",
+            self.bounded_cache_bytes
+        );
+        let _ = writeln!(
+            out,
+            "    \"compile_ms_per_layer\": {:.6},",
+            self.compile_ms_per_layer
         );
         let _ = writeln!(
             out,
@@ -219,25 +295,44 @@ impl ServeBenchReport {
                 "      \"placement\": \"{}\",",
                 escape_json(&combo.placement)
             );
+            let _ = writeln!(out, "      \"admission\": \"{}\",", combo.admission);
+            let _ = writeln!(
+                out,
+                "      \"cache_budget\": \"{}\",",
+                escape_json(&combo.cache_budget)
+            );
             let _ = writeln!(out, "      \"requests\": {},", o.requests);
+            let _ = writeln!(out, "      \"rejected\": {},", o.rejected);
             let _ = writeln!(out, "      \"p50_ms\": {:.6},", o.p50_ms);
             let _ = writeln!(out, "      \"p99_ms\": {:.6},", o.p99_ms);
+            let _ = writeln!(out, "      \"p999_ms\": {:.6},", o.p999_ms);
             let _ = writeln!(out, "      \"mean_ms\": {:.6},", o.mean_ms);
             let _ = writeln!(out, "      \"max_ms\": {:.6},", o.max_ms);
             let _ = writeln!(out, "      \"makespan_ms\": {:.6},", o.makespan_ms);
             let _ = writeln!(out, "      \"busy_ms\": {:.6},", o.busy_ms);
+            let _ = writeln!(out, "      \"deadline_misses\": {},", o.deadline_misses);
+            let _ = writeln!(out, "      \"goodput\": {:.6},", o.goodput);
+            let _ = writeln!(
+                out,
+                "      \"plan_cache\": {{\"lookups\": {}, \"hits\": {}, \"misses\": {}, \"evictions\": {}}},",
+                o.cache.lookups, o.cache.hits, o.cache.misses, o.cache.evictions,
+            );
             out.push_str("      \"shards\": [\n");
             for (j, shard) in o.shards.iter().enumerate() {
                 let comma = if j + 1 == o.shards.len() { "" } else { "," };
                 let _ = writeln!(
                     out,
-                    "        {{\"shard\": {}, \"platform\": \"{}\", \"requests\": {}, \"batches\": {}, \"busy_ms\": {:.6}, \"utilization\": {:.6}}}{comma}",
+                    "        {{\"shard\": {}, \"platform\": \"{}\", \"requests\": {}, \"batches\": {}, \"busy_ms\": {:.6}, \"utilization\": {:.6}, \"deadline_misses\": {}, \"queue_depth_mean\": {:.6}, \"queue_depth_max\": {}, \"cache_evictions\": {}}}{comma}",
                     shard.shard,
                     escape_json(shard.platform),
                     shard.requests,
                     shard.batches,
                     shard.busy_ms,
                     shard.utilization,
+                    shard.deadline_misses,
+                    shard.queue_depth_mean,
+                    shard.queue_depth_max,
+                    shard.cache.evictions,
                 );
             }
             out.push_str("      ],\n      \"batch_histogram\": {");
@@ -276,48 +371,142 @@ impl ServeBenchReport {
                     o.shards.iter().map(|s| s.utilization).sum::<f64>() / o.shards.len() as f64
                 };
                 format!(
-                    "{:<10} x {:<17} p50 {:>9.2} ms | p99 {:>10.2} ms | util {:>5.1}% | {} batches",
+                    "{:<20} x {:<17} [{:<9} cache {:<9}] p50 {:>9.2} ms | p99 {:>10.2} ms | util {:>5.1}% | goodput {:>5.1}% | {} evictions",
                     combo.policy,
                     combo.placement,
+                    combo.admission,
+                    combo.cache_budget,
                     o.p50_ms,
                     o.p99_ms,
                     mean_util * 100.0,
-                    o.batch_histogram.iter().map(|&(_, n)| n).sum::<u64>(),
+                    o.goodput * 100.0,
+                    o.cache.evictions,
                 )
             })
             .collect()
     }
 }
 
-/// Runs the full policy × placement matrix over one scenario, draining
-/// each combo's shards across `threads` sweep workers. The cluster
-/// (batch-1 plans + cost matrix) was compiled when the scenario was
-/// built and is shared by every combo — only admission and draining
-/// differ per cell.
+/// One matrix cell to execute: labels plus everything the engine run
+/// needs.
+struct ComboSpec {
+    policy: Arc<dyn BatchPolicy>,
+    placement: PlacementFactory,
+    admission: &'static str,
+    cache_budget: String,
+    config: EngineConfig,
+}
+
+/// Runs the full benchmark matrix over one scenario — the legacy block
+/// under [`EngineConfig::legacy`], then the online block under an
+/// unbounded and a bounded plan cache — fanning the combos across
+/// `threads` sweep workers. Each combo's engine run is
+/// single-threaded, so the thread count affects wall-clock only, never
+/// a value.
+///
+/// # Panics
+///
+/// Panics if the sweep driver loses a combo slot (a driver bug) or a
+/// backend rejects a batched plan compile.
 #[must_use]
 pub fn run_matrix(scenario: &ServeScenario, threads: usize) -> ServeBenchReport {
     let max_wait_ms = scenario.mean_unit_service_ms;
-    let mut combos = Vec::new();
+    let mut specs: Vec<ComboSpec> = Vec::new();
+    // Legacy block: pinned value-identical to the pre-engine pipeline.
     for policy in policy_matrix(max_wait_ms) {
-        for mut placement in placement_matrix() {
-            let sim = Arc::new(ServeSim::admit(
-                Arc::clone(&scenario.cluster),
-                Arc::clone(&policy),
-                placement.as_mut(),
-                &scenario.trace,
-            ));
-            let reports = run_shards(&sim, threads);
-            combos.push(ComboReport {
-                policy: policy.label(),
-                placement: placement.label(),
-                outcome: sim.outcome(&reports),
+        for placement in placement_matrix() {
+            specs.push(ComboSpec {
+                policy: Arc::clone(&policy),
+                placement,
+                admission: "preplaced",
+                cache_budget: CacheBudget::Unbounded.label(),
+                config: EngineConfig::legacy(),
             });
         }
     }
+    // Online block: live-view placement, EDF, bounded plan memory.
+    let budgets = [
+        CacheBudget::Unbounded,
+        CacheBudget::Uniform(scenario.bounded_cache_bytes),
+    ];
+    for budget in budgets {
+        let config = EngineConfig::default()
+            .with_cache_budget(budget.clone())
+            .with_compile_cost(scenario.compile_ms_per_layer);
+        for policy in online_policy_matrix(max_wait_ms, scenario.mean_unit_service_ms) {
+            for placement in online_placement_matrix() {
+                specs.push(ComboSpec {
+                    policy: Arc::clone(&policy),
+                    placement,
+                    admission: "online",
+                    cache_budget: budget.label(),
+                    config: config.clone(),
+                });
+            }
+        }
+    }
+
+    let slots: Arc<Mutex<Vec<Option<ComboReport>>>> = Arc::new(Mutex::new(vec![None; specs.len()]));
+    // One shared copy of the trace across all combo closures (each
+    // ServeSim still snapshots it, but transiently inside its task —
+    // never N copies held live at once).
+    let shared_trace: Arc<Vec<Request>> = Arc::new(scenario.trace.clone());
+    let mut sweep = Sweep::new();
+    for (index, spec) in specs.into_iter().enumerate() {
+        let cluster = Arc::clone(&scenario.cluster);
+        let trace = Arc::clone(&shared_trace);
+        let slots = Arc::clone(&slots);
+        let name = format!(
+            "serve/{}x{}@{}-{}",
+            spec.policy.label(),
+            (spec.placement)().label(),
+            spec.admission,
+            spec.cache_budget
+        );
+        sweep.push(SweepTask::new(name, move || {
+            let sim = ServeSim::with_cluster(
+                Arc::clone(&cluster),
+                Arc::clone(&spec.policy),
+                &trace,
+                spec.config.clone(),
+            );
+            let mut placement = (spec.placement)();
+            let run = sim.run(placement.as_mut());
+            let outcome = sim.outcome(&run);
+            let line = format!(
+                "{} x {}: {} served / {} rejected / p99 {:.2} ms",
+                spec.policy.label(),
+                placement.label(),
+                outcome.requests,
+                outcome.rejected,
+                outcome.p99_ms
+            );
+            slots.lock().expect("serve slots poisoned")[index] = Some(ComboReport {
+                policy: spec.policy.label(),
+                placement: placement.label(),
+                admission: spec.admission,
+                cache_budget: spec.cache_budget.clone(),
+                outcome,
+            });
+            line
+        }));
+    }
+    let _ = sweep.run_parallel(threads);
+    let combos: Vec<ComboReport> = {
+        let mut slots = slots.lock().expect("serve slots poisoned");
+        slots
+            .iter_mut()
+            .map(|slot| slot.take().expect("every combo slot is filled"))
+            .collect()
+    };
+
     ServeBenchReport {
         requests: scenario.trace.len(),
         seed: scenario.seed,
         mean_interarrival_ms: scenario.mean_interarrival_ms,
+        slo_ms: scenario.slo_ms,
+        bounded_cache_bytes: scenario.bounded_cache_bytes,
+        compile_ms_per_layer: scenario.compile_ms_per_layer,
         shard_platforms: scenario.cluster.platforms().to_vec(),
         network_names: scenario
             .cluster
@@ -338,38 +527,51 @@ mod tests {
     }
 
     #[test]
-    fn matrix_covers_nine_combos_and_serves_everything() {
+    fn matrix_covers_both_blocks_and_serves_everything() {
         let report = run_matrix(&tiny_scenario(), 4);
-        assert_eq!(report.combos.len(), 9);
-        assert!(report.combos.iter().all(|c| c.outcome.requests == 150));
-        let labels: std::collections::BTreeSet<(String, String)> = report
+        // 9 legacy combos + 4 policies x 2 placements x 2 budgets.
+        assert_eq!(report.combos.len(), 25);
+        assert!(report
             .combos
             .iter()
-            .map(|c| (c.policy.clone(), c.placement.clone()))
+            .all(|c| c.outcome.requests + c.outcome.rejected == 150));
+        let legacy = report
+            .combos
+            .iter()
+            .filter(|c| c.admission == "preplaced")
+            .count();
+        assert_eq!(legacy, 9);
+        let labels: std::collections::BTreeSet<(String, String, String, String)> = report
+            .combos
+            .iter()
+            .map(|c| {
+                (
+                    c.policy.clone(),
+                    c.placement.clone(),
+                    c.admission.to_string(),
+                    c.cache_budget.clone(),
+                )
+            })
             .collect();
-        assert_eq!(labels.len(), 9, "every combo labelled distinctly");
+        assert_eq!(labels.len(), 25, "every combo labelled distinctly");
+        // The legacy block compiles for free and never evicts.
+        for combo in report.combos.iter().filter(|c| c.admission == "preplaced") {
+            assert_eq!(combo.outcome.cache.evictions, 0);
+            assert_eq!(combo.outcome.rejected, 0);
+        }
+        // Cache counters balance everywhere.
+        for combo in &report.combos {
+            let cache = &combo.outcome.cache;
+            assert_eq!(cache.hits + cache.misses, cache.lookups);
+        }
     }
 
     #[test]
-    fn sweep_fanout_matches_serial_drain() {
+    fn thread_fanout_never_changes_the_report() {
         let scenario = tiny_scenario();
-        let sim = Arc::new(ServeSim::admit(
-            Arc::clone(&scenario.cluster),
-            Arc::new(SizeK::new(4)),
-            &mut RoundRobin::default(),
-            &scenario.trace,
-        ));
-        let serial = sim.run_serial();
-        let parallel = run_shards(&sim, 4);
-        for (s, p) in serial.iter().zip(&parallel) {
-            assert_eq!(s.shard, p.shard);
-            assert_eq!(s.busy_ms.to_bits(), p.busy_ms.to_bits());
-            assert_eq!(s.requests.len(), p.requests.len());
-            for (a, b) in s.requests.iter().zip(&p.requests) {
-                assert_eq!(a.id, b.id);
-                assert_eq!(a.completion_ms.to_bits(), b.completion_ms.to_bits());
-            }
-        }
+        let serial = run_matrix(&scenario, 1);
+        let parallel = run_matrix(&scenario, 4);
+        assert_eq!(serial.to_json(), parallel.to_json());
     }
 
     #[test]
@@ -381,8 +583,15 @@ mod tests {
             "\"combos\"",
             "\"policy\"",
             "\"placement\"",
+            "\"admission\"",
+            "\"cache_budget\"",
             "\"p50_ms\"",
             "\"p99_ms\"",
+            "\"p999_ms\"",
+            "\"deadline_misses\"",
+            "\"goodput\"",
+            "\"plan_cache\"",
+            "\"queue_depth_mean\"",
             "\"utilization\"",
             "\"batch_histogram\"",
         ] {

@@ -189,6 +189,20 @@ impl NetworkPlan {
             })
             .sum()
     }
+
+    /// Estimated resident size of the compiled plan in bytes: the plan
+    /// header, the frozen step table, and the shared network-name
+    /// buffer. A pure function of the step count and name length — the
+    /// batch dimension scales `m` inside each step, not the step count,
+    /// so plans of the same network cost the same bytes at every batch
+    /// size. The serving layer's capacity-bounded plan cache charges
+    /// and evicts by this estimate.
+    #[must_use]
+    pub fn mem_bytes(&self) -> u64 {
+        (std::mem::size_of::<Self>()
+            + self.steps.len() * std::mem::size_of::<PlannedStep>()
+            + self.network.len()) as u64
+    }
 }
 
 #[cfg(test)]
@@ -251,6 +265,27 @@ mod tests {
             .iter()
             .any(|s| matches!(s, PlannedStep::CrfHandoff { .. })));
         assert!(tpu.run().transfer_ms > 0.0);
+    }
+
+    #[test]
+    fn mem_bytes_tracks_steps_not_batch() {
+        let net = zoo::vgg_a();
+        let b1 = Executor::builder(Platform::Sma3)
+            .batch(1)
+            .build()
+            .plan(&net);
+        let b16 = Executor::builder(Platform::Sma3)
+            .batch(16)
+            .build()
+            .plan(&net);
+        assert!(b1.mem_bytes() > 0);
+        // Batch stacking scales shapes inside steps, not the step
+        // count, so residency is batch-invariant.
+        assert_eq!(b1.mem_bytes(), b16.mem_bytes());
+        // More layers means more resident bytes.
+        let small = Executor::new(Platform::Sma3).plan(&zoo::alexnet());
+        let large = Executor::new(Platform::Sma3).plan(&zoo::googlenet());
+        assert!(large.mem_bytes() > small.mem_bytes());
     }
 
     #[test]

@@ -1,0 +1,792 @@
+//! The discrete-event serving engine.
+//!
+//! One deterministic event queue drives the whole cluster: **arrival**
+//! events admit requests (invoking the [`Placement`] online, with a
+//! live [`ClusterView`]), **batch-close** events fire at the instant a
+//! [`BatchPolicy`] named in a [`PolicyDecision::WaitUntil`], and
+//! **service-complete** events free a shard and let it dispatch again.
+//! Events are totally ordered by `(time, class, sequence)` — time via
+//! `f64::total_cmp`, arrivals before completions before timers at
+//! equal instants, and a monotone sequence number last — so a run is a
+//! pure function of its inputs: byte-identical across repeats,
+//! machines and worker-thread counts.
+//!
+//! Two admission modes bound the refactor:
+//!
+//! * [`Admission::Online`] (default): placement sees the live cluster
+//!   (backlog, in-flight batches, plan-cache residency) at each
+//!   arrival, and the admission controller re-places or rejects
+//!   requests whose plan cannot fit the target shard's cache budget.
+//! * [`Admission::Preplaced`] is the legacy-parity shim: placement
+//!   runs over the whole trace up front against a zeroed view, exactly
+//!   like the pre-engine sequential admission pass. Under an unbounded
+//!   cache and zero compile cost the engine reproduces the
+//!   three-phase pipeline's outcomes bit for bit (pinned by
+//!   `tests/serve_engine.rs`).
+//!
+//! Plan memory is simulated per shard by a capacity-bounded LRU cache
+//! keyed on `(network, batch)` and charged with
+//! [`NetworkPlan::mem_bytes`](crate::NetworkPlan::mem_bytes); a miss
+//! bills `compile_ms_per_layer × layers` of simulated latency before
+//! the batch starts executing.
+
+use super::load::Request;
+use super::metrics::PlanCacheStats;
+use super::placement::{ClusterView, Placement};
+use super::policy::{BatchPolicy, PolicyDecision};
+use super::{BatchRecord, ServeCluster, ServedRequest, ShardReport};
+use crate::backend::RuntimeError;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// When the [`Placement`] is consulted and what it may see.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Placement runs at each request's arrival event with the live
+    /// [`ClusterView`]; requests whose plan cannot fit the chosen
+    /// shard's cache budget are re-placed (first fitting shard in
+    /// index order) or rejected.
+    Online,
+    /// Legacy-parity shim: placement runs over the whole trace before
+    /// the clock starts, against a view whose live fields are zero —
+    /// the pre-engine sequential admission pass. No admission control.
+    Preplaced,
+}
+
+/// Per-shard plan-cache capacity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheBudget {
+    /// No bound: every compiled plan stays resident (the legacy
+    /// behaviour).
+    Unbounded,
+    /// The same byte budget on every shard.
+    Uniform(u64),
+    /// An explicit byte budget per shard (must be one entry per
+    /// shard).
+    PerShard(Vec<u64>),
+}
+
+impl CacheBudget {
+    /// The byte budget of one shard (`None` = unbounded).
+    #[must_use]
+    pub fn for_shard(&self, shard: usize) -> Option<u64> {
+        match self {
+            CacheBudget::Unbounded => None,
+            CacheBudget::Uniform(bytes) => Some(*bytes),
+            CacheBudget::PerShard(bytes) => bytes.get(shard).copied(),
+        }
+    }
+
+    /// Whether a plan of `bytes` can ever be resident on `shard`.
+    #[must_use]
+    pub fn admits(&self, shard: usize, bytes: u64) -> bool {
+        self.for_shard(shard).is_none_or(|budget| bytes <= budget)
+    }
+
+    /// Report label (`unbounded`, `32KiB`, `per-shard`).
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            CacheBudget::Unbounded => "unbounded".into(),
+            CacheBudget::Uniform(bytes) => format!("{}KiB", bytes / 1024),
+            CacheBudget::PerShard(_) => "per-shard".into(),
+        }
+    }
+}
+
+/// Engine knobs: admission mode, plan-cache capacity, compile cost.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// When placement decides and what it sees.
+    pub admission: Admission,
+    /// Per-shard plan-cache capacity.
+    pub cache_budget: CacheBudget,
+    /// Simulated milliseconds billed per network layer when a batch's
+    /// plan misses the shard's plan cache (compile-on-miss latency).
+    pub compile_ms_per_layer: f64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            admission: Admission::Online,
+            cache_budget: CacheBudget::Unbounded,
+            compile_ms_per_layer: 0.0,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The legacy-parity shim: preplaced admission, unbounded cache,
+    /// free compiles. Under this configuration the event engine
+    /// reproduces the pre-engine three-phase pipeline bit for bit.
+    #[must_use]
+    pub fn legacy() -> Self {
+        EngineConfig {
+            admission: Admission::Preplaced,
+            cache_budget: CacheBudget::Unbounded,
+            compile_ms_per_layer: 0.0,
+        }
+    }
+
+    /// This configuration with a different cache budget.
+    #[must_use]
+    pub fn with_cache_budget(mut self, budget: CacheBudget) -> Self {
+        self.cache_budget = budget;
+        self
+    }
+
+    /// This configuration with a different compile-on-miss cost.
+    #[must_use]
+    pub fn with_compile_cost(mut self, ms_per_layer: f64) -> Self {
+        self.compile_ms_per_layer = ms_per_layer.max(0.0);
+        self
+    }
+}
+
+/// Everything one engine run produced: per-shard reports (shard
+/// order) and the requests the admission controller turned away.
+#[derive(Debug, Clone)]
+pub struct ServeRun {
+    /// One report per shard, in shard order.
+    pub reports: Vec<ShardReport>,
+    /// Requests rejected at admission (no shard's cache budget could
+    /// ever hold their plan), in arrival order. Empty under
+    /// [`Admission::Preplaced`] or an unbounded budget.
+    pub rejected: Vec<Request>,
+}
+
+/// Capacity-bounded LRU over simulated plan residency, keyed on
+/// `(network, batch)`.
+#[derive(Debug)]
+struct PlanCache {
+    budget: Option<u64>,
+    /// `(bytes, last_use)` per resident plan; `last_use` ticks are
+    /// unique, so the LRU victim is always unambiguous.
+    entries: HashMap<(usize, usize), (u64, u64)>,
+    resident_bytes: u64,
+    tick: u64,
+    stats: PlanCacheStats,
+}
+
+impl PlanCache {
+    fn new(budget: Option<u64>) -> Self {
+        PlanCache {
+            budget,
+            entries: HashMap::new(),
+            resident_bytes: 0,
+            tick: 0,
+            stats: PlanCacheStats::default(),
+        }
+    }
+
+    /// Looks up (and on miss admits) a plan, returning the simulated
+    /// compile charge: 0 on a hit, `compile_ms` on a miss. Eviction is
+    /// LRU until the new plan fits; a plan larger than the whole
+    /// budget empties the cache and is admitted anyway (the admission
+    /// controller keeps such requests out under [`Admission::Online`],
+    /// so this only arises when a caller opts out of admission
+    /// control).
+    fn access(&mut self, key: (usize, usize), bytes: u64, compile_ms: f64) -> f64 {
+        self.stats.lookups += 1;
+        self.tick += 1;
+        if let Some((_, last_use)) = self.entries.get_mut(&key) {
+            *last_use = self.tick;
+            self.stats.hits += 1;
+            return 0.0;
+        }
+        self.stats.misses += 1;
+        if let Some(budget) = self.budget {
+            while self.resident_bytes + bytes > budget && !self.entries.is_empty() {
+                let victim = *self
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, &(_, last_use))| last_use)
+                    .map(|(k, _)| k)
+                    .expect("non-empty cache has an LRU victim");
+                let (evicted_bytes, _) = self.entries.remove(&victim).expect("victim resident");
+                self.resident_bytes -= evicted_bytes;
+                self.stats.evictions += 1;
+            }
+        }
+        self.entries.insert(key, (bytes, self.tick));
+        self.resident_bytes += bytes;
+        self.stats.peak_bytes = self.stats.peak_bytes.max(self.resident_bytes);
+        compile_ms
+    }
+
+    fn into_stats(mut self) -> PlanCacheStats {
+        self.stats.resident_bytes = self.resident_bytes;
+        self.stats
+    }
+}
+
+/// Event classes, in same-instant processing order: arrivals (class 0,
+/// merged straight from the sorted trace rather than the heap) enqueue
+/// before a completion evaluates (the pre-engine drain admitted
+/// `arrival_ms <= now` before deciding), and completions free the
+/// shard before a stale timer re-evaluates.
+const CLASS_COMPLETE: u8 = 1;
+const CLASS_TIMER: u8 = 2;
+
+/// One queued engine event. Ordering is ascending `(time, class,
+/// seq)`; `seq` is a global push counter, so ties are broken by
+/// creation order and the queue is a total order.
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    time: f64,
+    class: u8,
+    seq: u64,
+    shard: usize,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest
+        // event on top.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then(other.class.cmp(&self.class))
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// Live state of one shard inside the event loop.
+struct ShardState {
+    /// Per-network FIFO queues of admitted-but-undispatched requests.
+    queues: Vec<VecDeque<Request>>,
+    /// Preplaced mode: arrivals still to come for this shard, per
+    /// network (the oracle the legacy drain exposed to policies).
+    future_per_net: Vec<usize>,
+    /// Completion instant of the in-flight batch (`None` = idle).
+    busy_until: Option<f64>,
+    /// Size of the in-flight batch (0 when idle).
+    in_flight: usize,
+    /// Earliest batch-close timer currently scheduled (dedup only —
+    /// stale timers are harmless, they just re-evaluate).
+    pending_timer: f64,
+    /// Memoized `(network, batch) → service ms`; first touch compiles
+    /// the plan through the executor.
+    service_ms: HashMap<(usize, usize), f64>,
+    cache: PlanCache,
+    /// Live queued-request count (all networks).
+    depth: usize,
+    depth_max: usize,
+    /// `∫ depth dt` for the time-weighted mean queue depth.
+    depth_integral_ms: f64,
+    depth_last_ms: f64,
+    report: ShardReport,
+}
+
+impl ShardState {
+    /// Records a queue-depth change at `now` (time-weighted).
+    fn note_depth(&mut self, now_ms: f64, depth: usize) {
+        self.depth_integral_ms += self.depth as f64 * (now_ms - self.depth_last_ms);
+        self.depth_last_ms = now_ms;
+        self.depth = depth;
+        self.depth_max = self.depth_max.max(depth);
+    }
+}
+
+/// The engine proper. Consumes the placement's mutable state for one
+/// run; everything else is borrowed immutably, so distinct runs (and
+/// distinct combos in the benchmark matrix) share one compiled
+/// [`ServeCluster`].
+pub(super) fn run_engine(
+    cluster: &ServeCluster,
+    policy: &dyn BatchPolicy,
+    placement: &mut dyn Placement,
+    trace: &[Request],
+    config: &EngineConfig,
+) -> Result<ServeRun, RuntimeError> {
+    let shard_count = cluster.shard_count();
+    let net_count = cluster.networks().len();
+    if let CacheBudget::PerShard(budgets) = &config.cache_budget {
+        assert_eq!(
+            budgets.len(),
+            shard_count,
+            "per-shard cache budget needs one entry per shard"
+        );
+    }
+
+    let mut shards: Vec<ShardState> = (0..shard_count)
+        .map(|shard| ShardState {
+            queues: vec![VecDeque::new(); net_count],
+            future_per_net: vec![0; net_count],
+            busy_until: None,
+            in_flight: 0,
+            pending_timer: f64::INFINITY,
+            // Batch-1 service times come off the cluster's
+            // pre-compiled plans (bit-identical to a fresh compile).
+            service_ms: cluster.unit_service_ms()[shard]
+                .iter()
+                .enumerate()
+                .map(|(net, &ms)| ((net, 1), ms))
+                .collect(),
+            cache: PlanCache::new(config.cache_budget.for_shard(shard)),
+            depth: 0,
+            depth_max: 0,
+            depth_integral_ms: 0.0,
+            depth_last_ms: 0.0,
+            report: ShardReport {
+                shard,
+                platform: cluster.platforms()[shard],
+                requests: Vec::new(),
+                batches: Vec::new(),
+                busy_ms: 0.0,
+                makespan_ms: 0.0,
+                plans_compiled: Vec::new(),
+                cache: PlanCacheStats::default(),
+                queue_depth_mean: 0.0,
+                queue_depth_max: 0,
+            },
+        })
+        .collect();
+
+    // Legacy shim: run the placement over the whole trace up front,
+    // against a view whose live fields are all zero — exactly the
+    // pre-engine sequential admission pass.
+    let preassigned: Option<Vec<usize>> = match config.admission {
+        Admission::Online => None,
+        Admission::Preplaced => {
+            let zero_counts = vec![0usize; shard_count];
+            let zero_bytes = vec![0u64; shard_count];
+            let view = ClusterView {
+                platforms: cluster.platforms(),
+                unit_service_ms: cluster.unit_service_ms(),
+                queued: &zero_counts,
+                in_flight: &zero_counts,
+                resident_plan_bytes: &zero_bytes,
+            };
+            let assigned: Vec<usize> = trace
+                .iter()
+                .map(|request| {
+                    let shard = placement.assign(request, &view);
+                    assert!(
+                        shard < shard_count,
+                        "placement routed request {} to shard {shard} of {shard_count}",
+                        request.id
+                    );
+                    shard
+                })
+                .collect();
+            for (request, &shard) in trace.iter().zip(&assigned) {
+                shards[shard].future_per_net[request.network] += 1;
+            }
+            Some(assigned)
+        }
+    };
+
+    // Online mode exposes "can any more arrivals of this network reach
+    // a shard" as the global count of future arrivals.
+    let mut global_future = vec![0usize; net_count];
+    for request in trace {
+        global_future[request.network] += 1;
+    }
+
+    let mut heap: BinaryHeap<Event> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut cursor = 0usize;
+    let mut rejected: Vec<Request> = Vec::new();
+    // Scratch buffers for the live view (rebuilt per online arrival).
+    let mut live_queued = vec![0usize; shard_count];
+    let mut live_in_flight = vec![0usize; shard_count];
+    let mut live_resident = vec![0u64; shard_count];
+
+    loop {
+        // Merge the (already sorted) arrival trace with the event
+        // heap; arrivals win ties (CLASS_ARRIVAL is the lowest class).
+        let take_arrival = match (trace.get(cursor), heap.peek()) {
+            (Some(request), Some(event)) => {
+                request.arrival_ms.total_cmp(&event.time) != Ordering::Greater
+            }
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => break,
+        };
+
+        if take_arrival {
+            let request = trace[cursor];
+            let now_ms = request.arrival_ms;
+            global_future[request.network] -= 1;
+            let target = match &preassigned {
+                Some(assigned) => {
+                    let shard = assigned[cursor];
+                    shards[shard].future_per_net[request.network] -= 1;
+                    Some(shard)
+                }
+                None => {
+                    for (shard, state) in shards.iter().enumerate() {
+                        live_queued[shard] = state.depth;
+                        live_in_flight[shard] = state.in_flight;
+                        live_resident[shard] = state.cache.resident_bytes;
+                    }
+                    let view = ClusterView {
+                        platforms: cluster.platforms(),
+                        unit_service_ms: cluster.unit_service_ms(),
+                        queued: &live_queued,
+                        in_flight: &live_in_flight,
+                        resident_plan_bytes: &live_resident,
+                    };
+                    let chosen = placement.assign(&request, &view);
+                    assert!(
+                        chosen < shard_count,
+                        "placement routed request {} to shard {chosen} of {shard_count}",
+                        request.id
+                    );
+                    // Admission control: the chosen shard must be able
+                    // to ever hold the request's plan; otherwise
+                    // re-place onto the first shard that can, else
+                    // reject.
+                    let fits = |shard: usize| {
+                        config
+                            .cache_budget
+                            .admits(shard, cluster.unit_plan_bytes()[shard][request.network])
+                    };
+                    if fits(chosen) {
+                        Some(chosen)
+                    } else {
+                        (0..shard_count).find(|&shard| fits(shard))
+                    }
+                }
+            };
+            cursor += 1;
+            match target {
+                Some(shard) => {
+                    let state = &mut shards[shard];
+                    state.note_depth(now_ms, state.depth + 1);
+                    state.queues[request.network].push_back(request);
+                    if state.busy_until.is_none() {
+                        attempt_dispatch(
+                            state,
+                            shard,
+                            now_ms,
+                            cluster,
+                            policy,
+                            config,
+                            preassigned.is_none().then_some(&global_future[..]),
+                            &mut heap,
+                            &mut seq,
+                        )?;
+                    }
+                }
+                None => rejected.push(request),
+            }
+            // Online tail flush: the last arrival of a network is an
+            // event for *every* shard still holding that network —
+            // `more_arrivals` just flipped false cluster-wide, and
+            // without this re-evaluation a size-triggered policy would
+            // strand its stragglers.
+            if preassigned.is_none() && global_future[request.network] == 0 {
+                for (shard, state) in shards.iter_mut().enumerate() {
+                    if target == Some(shard) {
+                        continue; // already evaluated above
+                    }
+                    if state.busy_until.is_none() && !state.queues[request.network].is_empty() {
+                        attempt_dispatch(
+                            state,
+                            shard,
+                            now_ms,
+                            cluster,
+                            policy,
+                            config,
+                            Some(&global_future[..]),
+                            &mut heap,
+                            &mut seq,
+                        )?;
+                    }
+                }
+            }
+        } else {
+            let event = heap.pop().expect("peeked event present");
+            let shard = event.shard;
+            let state = &mut shards[shard];
+            match event.class {
+                CLASS_COMPLETE => {
+                    debug_assert_eq!(
+                        state.busy_until.map(f64::to_bits),
+                        Some(event.time.to_bits())
+                    );
+                    state.busy_until = None;
+                    state.in_flight = 0;
+                    attempt_dispatch(
+                        state,
+                        shard,
+                        event.time,
+                        cluster,
+                        policy,
+                        config,
+                        preassigned.is_none().then_some(&global_future[..]),
+                        &mut heap,
+                        &mut seq,
+                    )?;
+                }
+                CLASS_TIMER => {
+                    if event.time.to_bits() == state.pending_timer.to_bits() {
+                        state.pending_timer = f64::INFINITY;
+                    }
+                    if state.busy_until.is_none() {
+                        attempt_dispatch(
+                            state,
+                            shard,
+                            event.time,
+                            cluster,
+                            policy,
+                            config,
+                            preassigned.is_none().then_some(&global_future[..]),
+                            &mut heap,
+                            &mut seq,
+                        )?;
+                    }
+                }
+                class => unreachable!("unknown event class {class}"),
+            }
+        }
+    }
+
+    // The cluster-wide horizon closes every shard's depth integral.
+    let makespan_ms = shards
+        .iter()
+        .map(|state| state.report.makespan_ms)
+        .fold(0.0_f64, f64::max);
+    let reports = shards
+        .into_iter()
+        .enumerate()
+        .map(|(shard, mut state)| {
+            assert!(
+                state.queues.iter().all(VecDeque::is_empty),
+                "shard {shard} stalled with queued requests (policy never became ready)"
+            );
+            state.note_depth(state.depth_last_ms.max(makespan_ms), 0);
+            state.report.queue_depth_mean = if makespan_ms > 0.0 {
+                state.depth_integral_ms / makespan_ms
+            } else {
+                0.0
+            };
+            state.report.queue_depth_max = state.depth_max;
+            state.report.cache = state.cache.into_stats();
+            state.report
+        })
+        .collect();
+    Ok(ServeRun { reports, rejected })
+}
+
+/// Evaluates every non-empty queue of an **idle** shard at `now_ms`
+/// and either launches the most urgent ready batch or schedules the
+/// earliest batch-close timer. The decision rule matches the
+/// pre-engine drain exactly: ready queues race on
+/// [`BatchPolicy::urgency`] (default: head arrival — FIFO across
+/// networks), strict-less comparison, ties to the lowest network
+/// index.
+#[allow(clippy::too_many_arguments)]
+fn attempt_dispatch(
+    state: &mut ShardState,
+    shard: usize,
+    now_ms: f64,
+    cluster: &ServeCluster,
+    policy: &dyn BatchPolicy,
+    config: &EngineConfig,
+    global_future: Option<&[usize]>,
+    heap: &mut BinaryHeap<Event>,
+    seq: &mut u64,
+) -> Result<(), RuntimeError> {
+    debug_assert!(state.busy_until.is_none(), "dispatch on a busy shard");
+    let mut best: Option<(usize, usize, f64)> = None; // (net, take, urgency)
+    let mut wake_ms = f64::INFINITY;
+    for net in 0..state.queues.len() {
+        if state.queues[net].is_empty() {
+            continue;
+        }
+        let more_arrivals = match global_future {
+            Some(global) => global[net] > 0,
+            None => state.future_per_net[net] > 0,
+        };
+        // O(1) when the ring has not wrapped since the last front
+        // drain; policies see a plain FIFO slice.
+        let contiguous: &[Request] = state.queues[net].make_contiguous();
+        match policy.decide(contiguous, now_ms, more_arrivals) {
+            PolicyDecision::Dispatch { take } => {
+                let take = take.clamp(1, contiguous.len());
+                let urgency = policy.urgency(contiguous, now_ms);
+                if best.is_none_or(|(_, _, top)| urgency < top) {
+                    best = Some((net, take, urgency));
+                }
+            }
+            PolicyDecision::WaitUntil(at) => wake_ms = wake_ms.min(at),
+            PolicyDecision::WaitForArrivals => {}
+        }
+    }
+
+    if let Some((net, take, _)) = best {
+        let service_ms = match state.service_ms.entry((net, take)) {
+            std::collections::hash_map::Entry::Occupied(hit) => *hit.get(),
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                let plan = cluster
+                    .shard_executor(shard)
+                    .with_batch(take)
+                    .try_plan(&cluster.networks()[net])?;
+                state.report.plans_compiled.push((net, take));
+                *slot.insert(plan.run().total_ms)
+            }
+        };
+        // Simulated plan residency: a miss bills the compile before
+        // the batch starts (0 under the legacy shim's free compiles).
+        let compile_charge =
+            config.compile_ms_per_layer * cluster.unit_plan(shard, net).layer_count() as f64;
+        let compile_ms = state.cache.access(
+            (net, take),
+            cluster.unit_plan_bytes()[shard][net],
+            compile_charge,
+        );
+        let completion_ms = now_ms + compile_ms + service_ms;
+        state.report.batches.push(BatchRecord {
+            network: net,
+            size: take,
+            start_ms: now_ms,
+            service_ms,
+            compile_ms,
+        });
+        for request in state.queues[net].drain(..take) {
+            state.report.requests.push(ServedRequest {
+                id: request.id,
+                network: request.network,
+                arrival_ms: request.arrival_ms,
+                deadline_ms: request.deadline_ms,
+                start_ms: now_ms,
+                completion_ms,
+                batch_size: take,
+            });
+        }
+        state.note_depth(now_ms, state.depth - take);
+        state.report.busy_ms += compile_ms + service_ms;
+        state.report.makespan_ms = completion_ms;
+        state.busy_until = Some(completion_ms);
+        state.in_flight = take;
+        heap.push(Event {
+            time: completion_ms,
+            class: CLASS_COMPLETE,
+            seq: *seq,
+            shard,
+        });
+        *seq += 1;
+    } else if wake_ms.is_finite() {
+        // A batch-close event: without it, a queue whose deadline
+        // expires between arrivals would stay open until the next
+        // arrival happened by (the off-by-one-event bug).
+        assert!(
+            wake_ms > now_ms,
+            "shard {shard} stalled at {now_ms} ms (policy asked to wait for the past)"
+        );
+        if wake_ms < state.pending_timer {
+            state.pending_timer = wake_ms;
+            heap.push(Event {
+                time: wake_ms,
+                class: CLASS_TIMER,
+                seq: *seq,
+                shard,
+            });
+            *seq += 1;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_cache_lru_evicts_the_coldest_plan() {
+        let mut cache = PlanCache::new(Some(100));
+        assert_eq!(cache.access((0, 1), 40, 2.0), 2.0, "cold miss bills");
+        assert_eq!(cache.access((1, 1), 40, 2.0), 2.0);
+        assert_eq!(cache.access((0, 1), 40, 2.0), 0.0, "hit is free");
+        // Admitting a third 40B plan exceeds 100B: the LRU victim is
+        // (1,1) — (0,1) was touched more recently.
+        assert_eq!(cache.access((2, 1), 40, 2.0), 2.0);
+        assert_eq!(cache.access((0, 1), 40, 2.0), 0.0, "(0,1) survived");
+        assert_eq!(cache.access((1, 1), 40, 2.0), 2.0, "(1,1) was evicted");
+        let stats = cache.into_stats();
+        assert_eq!(stats.hits + stats.misses, stats.lookups);
+        assert_eq!(stats.evictions, 2);
+        assert!(stats.peak_bytes <= 100);
+        assert_eq!(stats.resident_bytes, 80);
+    }
+
+    #[test]
+    fn plan_cache_unbounded_never_evicts() {
+        let mut cache = PlanCache::new(None);
+        for net in 0..50 {
+            assert_eq!(cache.access((net, 1), 1 << 20, 1.0), 1.0);
+            assert_eq!(cache.access((net, 1), 1 << 20, 1.0), 0.0);
+        }
+        let stats = cache.into_stats();
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(stats.misses, 50);
+        assert_eq!(stats.hits, 50);
+        assert_eq!(stats.resident_bytes, 50 << 20);
+    }
+
+    #[test]
+    fn oversized_plan_empties_the_cache_but_still_runs() {
+        let mut cache = PlanCache::new(Some(64));
+        cache.access((0, 1), 30, 1.0);
+        cache.access((1, 1), 30, 1.0);
+        // 100 > 64: everything is evicted, the plan is admitted anyway
+        // (admission control keeps this out of online runs).
+        assert_eq!(cache.access((2, 1), 100, 1.0), 1.0);
+        let stats = cache.into_stats();
+        assert_eq!(stats.evictions, 2);
+        assert_eq!(stats.resident_bytes, 100);
+    }
+
+    #[test]
+    fn cache_budget_admission() {
+        assert!(CacheBudget::Unbounded.admits(3, u64::MAX));
+        assert!(CacheBudget::Uniform(10).admits(0, 10));
+        assert!(!CacheBudget::Uniform(10).admits(0, 11));
+        let per = CacheBudget::PerShard(vec![5, 50]);
+        assert!(!per.admits(0, 20));
+        assert!(per.admits(1, 20));
+        assert_eq!(CacheBudget::Uniform(32 * 1024).label(), "32KiB");
+    }
+
+    #[test]
+    fn events_order_by_time_class_then_seq() {
+        let mut heap = BinaryHeap::new();
+        let ev = |time, class, seq| Event {
+            time,
+            class,
+            seq,
+            shard: 0,
+        };
+        heap.push(ev(5.0, CLASS_TIMER, 0));
+        heap.push(ev(5.0, CLASS_COMPLETE, 1));
+        heap.push(ev(4.0, CLASS_TIMER, 2));
+        heap.push(ev(5.0, CLASS_COMPLETE, 3));
+        let order: Vec<(f64, u8, u64)> = std::iter::from_fn(|| heap.pop())
+            .map(|e| (e.time, e.class, e.seq))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                (4.0, CLASS_TIMER, 2),
+                (5.0, CLASS_COMPLETE, 1),
+                (5.0, CLASS_COMPLETE, 3),
+                (5.0, CLASS_TIMER, 0),
+            ]
+        );
+    }
+}

@@ -51,6 +51,20 @@ pub struct Request {
     pub network: usize,
     /// Simulated arrival time in milliseconds.
     pub arrival_ms: f64,
+    /// Absolute SLO deadline in simulated milliseconds
+    /// (`f64::INFINITY` when the trace carries no SLO). Completion
+    /// after this instant counts as a deadline miss in
+    /// [`ServeOutcome`](super::ServeOutcome); the EDF policy orders
+    /// queues by it.
+    pub deadline_ms: f64,
+}
+
+impl Request {
+    /// Whether a completion instant meets this request's SLO.
+    #[must_use]
+    pub fn meets_deadline(&self, completion_ms: f64) -> bool {
+        completion_ms <= self.deadline_ms
+    }
 }
 
 /// Seeded open-loop trace generator.
@@ -64,16 +78,30 @@ pub struct Request {
 pub struct LoadGenerator {
     rng: SeededRng,
     mean_interarrival_ms: f64,
+    slo_ms: f64,
 }
 
 impl LoadGenerator {
-    /// A generator with the given seed and mean interarrival gap.
+    /// A generator with the given seed and mean interarrival gap. The
+    /// trace carries no SLO (every deadline is `f64::INFINITY`); see
+    /// [`LoadGenerator::with_slo`].
     #[must_use]
     pub fn new(seed: u64, mean_interarrival_ms: f64) -> Self {
         LoadGenerator {
             rng: SeededRng::new(seed),
             mean_interarrival_ms: mean_interarrival_ms.max(0.0),
+            slo_ms: f64::INFINITY,
         }
+    }
+
+    /// Attaches a per-request latency SLO: every drawn request gets
+    /// `deadline_ms = arrival_ms + slo_ms`. The deadline is a pure
+    /// function of the arrival (no extra random draws), so traces with
+    /// and without an SLO have bit-identical arrivals and networks.
+    #[must_use]
+    pub fn with_slo(mut self, slo_ms: f64) -> Self {
+        self.slo_ms = if slo_ms > 0.0 { slo_ms } else { f64::INFINITY };
+        self
     }
 
     /// Draws `count` requests over `networks` models, in arrival order.
@@ -87,6 +115,7 @@ impl LoadGenerator {
                     id,
                     network: self.rng.next_index(networks),
                     arrival_ms: t,
+                    deadline_ms: t + self.slo_ms,
                 }
             })
             .collect()
@@ -118,6 +147,23 @@ mod tests {
         let span = trace.last().unwrap().arrival_ms;
         let mean = span / trace.len() as f64;
         assert!((0.8..1.2).contains(&mean), "mean gap {mean}");
+    }
+
+    #[test]
+    fn slo_offsets_deadlines_without_perturbing_the_trace() {
+        let plain = LoadGenerator::new(21, 2.0).trace(300, 3);
+        let slo = LoadGenerator::new(21, 2.0).with_slo(12.5).trace(300, 3);
+        for (a, b) in plain.iter().zip(&slo) {
+            assert_eq!(a.arrival_ms.to_bits(), b.arrival_ms.to_bits());
+            assert_eq!(a.network, b.network);
+            assert_eq!(a.deadline_ms, f64::INFINITY);
+            assert_eq!(b.deadline_ms.to_bits(), (b.arrival_ms + 12.5).to_bits());
+            assert!(!b.meets_deadline(b.deadline_ms + 1.0));
+            assert!(b.meets_deadline(b.deadline_ms));
+        }
+        // A non-positive SLO means "no SLO", not "always missed".
+        let none = LoadGenerator::new(21, 2.0).with_slo(0.0).trace(10, 3);
+        assert!(none.iter().all(|r| r.deadline_ms == f64::INFINITY));
     }
 
     #[test]

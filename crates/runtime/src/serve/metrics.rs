@@ -1,6 +1,43 @@
-//! Aggregation of shard drains into serving metrics.
+//! Aggregation of shard reports into serving metrics: latency
+//! percentiles (p50/p99/p99.9), SLO accounting (deadline misses,
+//! goodput), queue-depth and plan-cache statistics.
 
 use super::ShardReport;
+
+/// Exact counters of one shard's simulated plan cache.
+///
+/// Invariant (pinned by the serve-engine suite):
+/// `hits + misses == lookups`, and under an unbounded budget
+/// `evictions == 0`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Plan-cache probes (one per dispatched batch).
+    pub lookups: u64,
+    /// Probes that found the plan resident.
+    pub hits: u64,
+    /// Probes that had to (re-)compile the plan.
+    pub misses: u64,
+    /// Plans evicted to fit newly admitted ones.
+    pub evictions: u64,
+    /// Resident plan bytes when the run ended.
+    pub resident_bytes: u64,
+    /// Highest resident plan bytes at any instant of the run.
+    pub peak_bytes: u64,
+}
+
+impl PlanCacheStats {
+    /// Fold another shard's counters into this one (byte gauges sum;
+    /// the cluster-wide peak is the sum of per-shard peaks, an upper
+    /// bound).
+    pub fn absorb(&mut self, other: &PlanCacheStats) {
+        self.lookups += other.lookups;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.resident_bytes += other.resident_bytes;
+        self.peak_bytes += other.peak_bytes;
+    }
+}
 
 /// Per-shard aggregate of one serve run.
 #[derive(Debug, Clone)]
@@ -13,21 +50,34 @@ pub struct ShardSummary {
     pub requests: usize,
     /// Batches the policy formed here.
     pub batches: usize,
-    /// Simulated milliseconds the shard spent executing.
+    /// Simulated milliseconds the shard spent executing (plan compiles
+    /// included).
     pub busy_ms: f64,
     /// Busy fraction of the cluster-wide simulated horizon.
     pub utilization: f64,
+    /// Served requests that finished after their deadline.
+    pub deadline_misses: u64,
+    /// Time-weighted mean queued-request count over the horizon.
+    pub queue_depth_mean: f64,
+    /// Worst instantaneous queued-request count.
+    pub queue_depth_max: usize,
+    /// The shard's plan-cache counters.
+    pub cache: PlanCacheStats,
 }
 
 /// Cluster-wide metrics of one serve run.
 #[derive(Debug, Clone)]
 pub struct ServeOutcome {
-    /// Requests served (equals the trace length).
+    /// Requests served (trace length minus rejections).
     pub requests: usize,
+    /// Requests the admission controller turned away.
+    pub rejected: usize,
     /// Median request latency (queueing + batched execution), ms.
     pub p50_ms: f64,
     /// 99th-percentile request latency, ms.
     pub p99_ms: f64,
+    /// 99.9th-percentile request latency, ms.
+    pub p999_ms: f64,
     /// Mean request latency, ms.
     pub mean_ms: f64,
     /// Worst request latency, ms.
@@ -36,6 +86,15 @@ pub struct ServeOutcome {
     pub makespan_ms: f64,
     /// Total simulated execution milliseconds across all shards.
     pub busy_ms: f64,
+    /// Served requests that finished after their SLO deadline
+    /// (requests without a finite deadline can never miss).
+    pub deadline_misses: u64,
+    /// Fraction of the offered trace that was served *and* met its
+    /// deadline: `(requests - deadline_misses) / (requests +
+    /// rejected)`. 1.0 for an SLO-free trace with no rejections.
+    pub goodput: f64,
+    /// Cluster-wide plan-cache counters (per-shard sums).
+    pub cache: PlanCacheStats,
     /// Per-shard aggregates, in shard order.
     pub shards: Vec<ShardSummary>,
     /// `(batch size, batches formed)` in ascending size order.
@@ -61,9 +120,11 @@ fn percentile_of_sorted(sorted: &[f64], p: f64) -> f64 {
     sorted[rank.min(sorted.len() - 1)]
 }
 
-/// Folds the per-shard drains into the cluster-wide outcome.
+/// Folds the per-shard reports into the cluster-wide outcome.
+/// `rejected` is the count of requests the admission controller turned
+/// away (they never reach a shard report but count against goodput).
 #[must_use]
-pub fn aggregate(reports: &[ShardReport]) -> ServeOutcome {
+pub fn aggregate(reports: &[ShardReport], rejected: usize) -> ServeOutcome {
     let mut latencies: Vec<f64> = reports
         .iter()
         .flat_map(|r| r.requests.iter().map(|req| req.latency_ms()))
@@ -75,6 +136,7 @@ pub fn aggregate(reports: &[ShardReport]) -> ServeOutcome {
         .map(|r| r.makespan_ms)
         .fold(0.0_f64, f64::max);
     let busy_ms: f64 = reports.iter().map(|r| r.busy_ms).sum();
+    let deadline_misses: u64 = reports.iter().map(shard_misses).sum();
 
     let mut histogram = std::collections::BTreeMap::new();
     for report in reports {
@@ -83,18 +145,34 @@ pub fn aggregate(reports: &[ShardReport]) -> ServeOutcome {
         }
     }
 
+    let mut cache = PlanCacheStats::default();
+    for report in reports {
+        cache.absorb(&report.cache);
+    }
+
+    let served = latencies.len();
+    let offered = served + rejected;
     ServeOutcome {
-        requests: latencies.len(),
+        requests: served,
+        rejected,
         p50_ms: percentile_of_sorted(&latencies, 50.0),
         p99_ms: percentile_of_sorted(&latencies, 99.0),
+        p999_ms: percentile_of_sorted(&latencies, 99.9),
         mean_ms: if latencies.is_empty() {
             0.0
         } else {
-            total_latency_ms / latencies.len() as f64
+            total_latency_ms / served as f64
         },
         max_ms: latencies.last().copied().unwrap_or(0.0).max(0.0),
         makespan_ms,
         busy_ms,
+        deadline_misses,
+        goodput: if offered == 0 {
+            1.0
+        } else {
+            (served as u64 - deadline_misses) as f64 / offered as f64
+        },
+        cache,
         shards: reports
             .iter()
             .map(|r| ShardSummary {
@@ -108,10 +186,23 @@ pub fn aggregate(reports: &[ShardReport]) -> ServeOutcome {
                 } else {
                     0.0
                 },
+                deadline_misses: shard_misses(r),
+                queue_depth_mean: r.queue_depth_mean,
+                queue_depth_max: r.queue_depth_max,
+                cache: r.cache.clone(),
             })
             .collect(),
         batch_histogram: histogram.into_iter().collect(),
     }
+}
+
+/// Served requests of one shard that finished after their deadline.
+fn shard_misses(report: &ShardReport) -> u64 {
+    report
+        .requests
+        .iter()
+        .filter(|r| r.completion_ms > r.deadline_ms)
+        .count() as u64
 }
 
 #[cfg(test)]
@@ -123,7 +214,33 @@ mod tests {
         let v = [5.0, 1.0, 3.0, 2.0, 4.0];
         assert_eq!(percentile_ms(&v, 0.0), 1.0);
         assert_eq!(percentile_ms(&v, 50.0), 3.0);
+        assert_eq!(percentile_ms(&v, 99.9), 5.0);
         assert_eq!(percentile_ms(&v, 100.0), 5.0);
         assert_eq!(percentile_ms(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn cache_stats_absorb_sums_every_counter() {
+        let mut a = PlanCacheStats {
+            lookups: 10,
+            hits: 6,
+            misses: 4,
+            evictions: 1,
+            resident_bytes: 100,
+            peak_bytes: 150,
+        };
+        let b = PlanCacheStats {
+            lookups: 5,
+            hits: 5,
+            misses: 0,
+            evictions: 0,
+            resident_bytes: 50,
+            peak_bytes: 50,
+        };
+        a.absorb(&b);
+        assert_eq!(a.lookups, 15);
+        assert_eq!(a.hits + a.misses, a.lookups);
+        assert_eq!(a.resident_bytes, 150);
+        assert_eq!(a.peak_bytes, 200);
     }
 }

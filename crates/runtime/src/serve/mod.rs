@@ -1,4 +1,4 @@
-//! Simulated multi-shard serving over compiled [`NetworkPlan`]s.
+//! Event-driven multi-shard serving over compiled [`NetworkPlan`]s.
 //!
 //! The compile-once layer ([`Executor::plan`](crate::Executor::plan) →
 //! [`NetworkPlan::run`]) gives the runtime a lock-free replay
@@ -7,28 +7,36 @@
 //! networks it hosts, fed from an open-loop request trace through a
 //! pluggable [`BatchPolicy`] and [`Placement`] strategy.
 //!
-//! Everything runs on a **simulated clock**. Arrival times come from a
-//! seeded [`LoadGenerator`], service times from `NetworkPlan::run()`'s
-//! cost model, and queueing falls out of the event loop — the wall
-//! clock is never consulted, so a serve run is a pure function of
-//! (trace, cluster, policy, placement): byte-identical across repeat
-//! runs and across any worker-thread count.
+//! The control flow is a **discrete-event simulation**: one
+//! deterministic event queue carries arrival, batch-close and
+//! service-complete events, totally ordered by `(time, class,
+//! sequence)`. `Placement` and `BatchPolicy` are online decision
+//! points invoked at event time with a [`ClusterView`] of the live
+//! cluster — per-shard backlog, in-flight batches and plan-cache
+//! residency. The wall clock is never consulted, so a serve run is a
+//! pure function of (trace, cluster, policy, placement, config):
+//! byte-identical across repeat runs and across any worker-thread
+//! count.
 //!
-//! The simulation splits into three phases:
+//! On top of the engine sit:
 //!
-//! 1. **Admission** (sequential): the [`Placement`] walks the trace in
-//!    arrival order and pins every request to a shard.
-//! 2. **Drain** (parallel-ready): [`ServeSim::simulate_shard`] drains
-//!    one shard's queues through its plans — a pure `&self` call, so
-//!    shards fan across threads (the bench crate drives this through
-//!    its sweep driver).
-//! 3. **Aggregation** (sequential): [`ServeSim::outcome`] folds the
-//!    shard reports into latency percentiles, utilization and the
-//!    batch-size histogram.
+//! * **SLO accounting**: the [`LoadGenerator`] stamps per-request
+//!   deadlines, [`EarliestDeadlineFirst`] schedules by them, and
+//!   [`ServeOutcome`] reports deadline misses and goodput for every
+//!   policy.
+//! * **Bounded plan memory**: each shard's plan cache has a byte
+//!   budget ([`CacheBudget`]) with LRU eviction, compile-on-miss
+//!   is charged as simulated latency, and the admission controller
+//!   re-places or rejects requests whose plan can never fit.
+//! * **A legacy-parity shim** ([`EngineConfig::legacy`]): preplaced
+//!   admission, unbounded cache, free compiles — bit-for-bit the
+//!   pre-engine three-phase (admit → drain → aggregate) pipeline.
 //!
 //! ```
 //! use sma_models::zoo;
-//! use sma_runtime::serve::{Deadline, LoadGenerator, RoundRobin, ServeSim};
+//! use sma_runtime::serve::{
+//!     Deadline, EngineConfig, LoadGenerator, RoundRobin, ServeSim,
+//! };
 //! use sma_runtime::{Executor, Platform};
 //! use std::sync::Arc;
 //!
@@ -37,36 +45,44 @@
 //!     Executor::new(Platform::GpuTensorCore),
 //! ];
 //! let networks = vec![zoo::alexnet(), zoo::vgg_a()];
-//! let trace = LoadGenerator::new(7, 4.0).trace(200, networks.len());
+//! let trace = LoadGenerator::new(7, 4.0)
+//!     .with_slo(40.0)
+//!     .trace(200, networks.len());
 //! let sim = ServeSim::try_new(
 //!     shards,
 //!     networks,
 //!     Arc::new(Deadline::new(8.0, 16)),
-//!     &mut RoundRobin::default(),
 //!     &trace,
+//!     EngineConfig::default(),
 //! )
 //! .unwrap();
-//! let reports = sim.run_serial();
-//! let outcome = sim.outcome(&reports);
+//! let run = sim.run(&mut RoundRobin::default());
+//! let outcome = sim.outcome(&run);
 //! assert_eq!(outcome.requests, 200);
 //! assert!(outcome.p99_ms >= outcome.p50_ms);
+//! assert!(outcome.goodput <= 1.0);
 //! ```
 
+mod engine;
 mod load;
 mod metrics;
 mod placement;
 mod policy;
+mod slo;
 
+pub use engine::{Admission, CacheBudget, EngineConfig, ServeRun};
 pub use load::{LoadGenerator, Request, SeededRng};
-pub use metrics::{aggregate, percentile_ms, ServeOutcome, ShardSummary};
-pub use placement::{ClusterView, LeastOutstanding, Placement, PlatformAffinity, RoundRobin};
+pub use metrics::{aggregate, percentile_ms, PlanCacheStats, ServeOutcome, ShardSummary};
+pub use placement::{
+    ClusterView, LeastBacklog, LeastOutstanding, Placement, PlatformAffinity, RoundRobin,
+};
 pub use policy::{BatchPolicy, Deadline, Immediate, PolicyDecision, SizeK};
+pub use slo::EarliestDeadlineFirst;
 
 use crate::backend::RuntimeError;
 use crate::executor::Executor;
 use crate::plan::NetworkPlan;
 use sma_models::Network;
-use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 /// One request after the drain: when it arrived, started and finished.
@@ -78,7 +94,9 @@ pub struct ServedRequest {
     pub network: usize,
     /// Simulated arrival, ms.
     pub arrival_ms: f64,
-    /// Simulated instant its batch started executing, ms.
+    /// Absolute SLO deadline, ms (`f64::INFINITY` without an SLO).
+    pub deadline_ms: f64,
+    /// Simulated instant its batch started (compile included), ms.
     pub start_ms: f64,
     /// Simulated instant its batch completed, ms.
     pub completion_ms: f64,
@@ -98,6 +116,12 @@ impl ServedRequest {
     pub fn wait_ms(&self) -> f64 {
         self.start_ms - self.arrival_ms
     }
+
+    /// Whether the request finished within its SLO deadline.
+    #[must_use]
+    pub fn met_deadline(&self) -> bool {
+        self.completion_ms <= self.deadline_ms
+    }
 }
 
 /// One executed batch: which plan replayed, when, and for how long.
@@ -111,9 +135,12 @@ pub struct BatchRecord {
     pub start_ms: f64,
     /// `NetworkPlan::run().total_ms` of the batched plan.
     pub service_ms: f64,
+    /// Simulated plan-compile charge billed before execution (0 on a
+    /// plan-cache hit or under free compiles).
+    pub compile_ms: f64,
 }
 
-/// Everything one shard did during its drain.
+/// Everything one shard did during the run.
 #[derive(Debug, Clone)]
 pub struct ShardReport {
     /// Shard index.
@@ -124,22 +151,29 @@ pub struct ShardReport {
     pub requests: Vec<ServedRequest>,
     /// Executed batches, in launch order.
     pub batches: Vec<BatchRecord>,
-    /// Simulated milliseconds spent executing.
+    /// Simulated milliseconds spent executing (compiles included).
     pub busy_ms: f64,
     /// Simulated instant the last batch completed (0 if idle).
     pub makespan_ms: f64,
-    /// `(network, batch)` plan keys this drain compiled on top of the
+    /// `(network, batch)` plan keys this run compiled on top of the
     /// pre-seeded batch-1 set, in compilation order.
     pub plans_compiled: Vec<(usize, usize)>,
+    /// Simulated plan-cache counters.
+    pub cache: PlanCacheStats,
+    /// Time-weighted mean queued-request count over the cluster
+    /// horizon.
+    pub queue_depth_mean: f64,
+    /// Worst instantaneous queued-request count.
+    pub queue_depth_max: usize,
 }
 
 /// A compiled serving cluster: the shard executors, the hosted
 /// networks, and the batch-1 plan/cost matrix.
 ///
 /// Everything here depends only on (executor, network) — not on the
-/// policy, placement or trace — so one cluster compiles once and is
-/// shared (via `Arc`) by every [`ServeSim`] admission over it, e.g.
-/// the nine policy × placement combos of the serving benchmark.
+/// policy, placement, trace or engine config — so one cluster compiles
+/// once and is shared (via `Arc`) by every [`ServeSim`] over it, e.g.
+/// every combo of the serving benchmark matrix.
 #[derive(Debug)]
 pub struct ServeCluster {
     shards: Vec<Executor>,
@@ -149,12 +183,16 @@ pub struct ServeCluster {
     unit_plans: Vec<Vec<NetworkPlan>>,
     /// `unit_service_ms[shard][network]`: one batch-1 replay's total.
     unit_service_ms: Vec<Vec<f64>>,
+    /// `unit_plan_bytes[shard][network]`: the plan's resident size
+    /// ([`NetworkPlan::mem_bytes`] — batch-invariant, so it prices
+    /// every batch size of the network).
+    unit_plan_bytes: Vec<Vec<u64>>,
 }
 
 impl ServeCluster {
     /// Compiles a batch-1 [`NetworkPlan`] per shard × network (warming
-    /// each backend's GEMM cache) and freezes the cost matrix
-    /// placements consult.
+    /// each backend's GEMM cache) and freezes the cost and plan-size
+    /// matrices placements and the admission controller consult.
     ///
     /// # Errors
     ///
@@ -169,16 +207,20 @@ impl ServeCluster {
         assert!(!networks.is_empty(), "a cluster needs at least one network");
         let mut unit_plans = Vec::with_capacity(shards.len());
         let mut unit_service_ms = Vec::with_capacity(shards.len());
+        let mut unit_plan_bytes = Vec::with_capacity(shards.len());
         for executor in &shards {
             let mut plans = Vec::with_capacity(networks.len());
             let mut costs = Vec::with_capacity(networks.len());
+            let mut bytes = Vec::with_capacity(networks.len());
             for network in &networks {
                 let plan = executor.with_batch(1).try_plan(network)?;
                 costs.push(plan.run().total_ms);
+                bytes.push(plan.mem_bytes());
                 plans.push(plan);
             }
             unit_plans.push(plans);
             unit_service_ms.push(costs);
+            unit_plan_bytes.push(bytes);
         }
         Ok(ServeCluster {
             platforms: shards.iter().map(|e| e.backend().name()).collect(),
@@ -186,6 +228,7 @@ impl ServeCluster {
             networks,
             unit_plans,
             unit_service_ms,
+            unit_plan_bytes,
         })
     }
 
@@ -213,6 +256,12 @@ impl ServeCluster {
         &self.unit_service_ms
     }
 
+    /// The plan-size matrix (`[shard][network]`, bytes).
+    #[must_use]
+    pub fn unit_plan_bytes(&self) -> &[Vec<u64>] {
+        &self.unit_plan_bytes
+    }
+
     /// Backend name per shard, in shard order.
     #[must_use]
     pub fn platforms(&self) -> &[&'static str] {
@@ -224,35 +273,29 @@ impl ServeCluster {
     pub fn unit_plan(&self, shard: usize, network: usize) -> &NetworkPlan {
         &self.unit_plans[shard][network]
     }
-
-    /// The immutable view placements decide from.
-    #[must_use]
-    pub fn view(&self) -> ClusterView<'_> {
-        ClusterView {
-            platforms: &self.platforms,
-            unit_service_ms: &self.unit_service_ms,
-        }
-    }
 }
 
-/// A fully admitted serving simulation, ready to drain.
+/// A serving simulation: a compiled cluster, a batching policy, an
+/// arrival trace and the engine configuration.
 ///
-/// Construction runs the placement over the trace against a compiled
-/// [`ServeCluster`]. [`ServeSim::simulate_shard`] is `&self` and pure,
-/// so shard drains parallelise freely.
+/// [`ServeSim::run`] executes the discrete-event engine; it borrows
+/// `self` immutably, so one simulation can be re-run (pass a fresh
+/// [`Placement`] — strategies carry cursor/backlog state) and runs of
+/// different simulations over one shared cluster can proceed from
+/// different threads.
 #[derive(Debug)]
 pub struct ServeSim {
     cluster: Arc<ServeCluster>,
     policy: Arc<dyn BatchPolicy>,
-    /// `assigned[shard]`: the requests routed there, arrival order.
-    assigned: Vec<Vec<Request>>,
+    trace: Vec<Request>,
+    config: EngineConfig,
 }
 
 impl ServeSim {
     /// Compiles a fresh [`ServeCluster`] from `shards` × `networks`
-    /// and admits `trace` into it. To serve several traces or
-    /// policy/placement combinations over one cluster, compile the
-    /// cluster once and use [`ServeSim::admit`].
+    /// and wraps it with `trace` and `config`. To serve several traces
+    /// or policy/placement combinations over one cluster, compile the
+    /// cluster once and use [`ServeSim::with_cluster`].
     ///
     /// # Errors
     ///
@@ -262,72 +305,78 @@ impl ServeSim {
     /// # Panics
     ///
     /// Panics if `shards` or `networks` is empty, if the trace is not
-    /// in arrival order, if a trace request names a network outside
-    /// the table, or if `placement` returns an out-of-range shard.
+    /// in arrival order, or if a trace request names a network outside
+    /// the table.
     pub fn try_new(
         shards: Vec<Executor>,
         networks: Vec<Network>,
         policy: Arc<dyn BatchPolicy>,
-        placement: &mut dyn Placement,
         trace: &[Request],
+        config: EngineConfig,
     ) -> Result<Self, RuntimeError> {
         let cluster = Arc::new(ServeCluster::try_new(shards, networks)?);
-        Ok(Self::admit(cluster, policy, placement, trace))
+        Ok(Self::with_cluster(cluster, policy, trace, config))
     }
 
-    /// Admits `trace` into an already-compiled cluster: walks the
-    /// requests in arrival order and lets `placement` pin each to a
-    /// shard. No plan compilation happens here, so re-admitting the
-    /// same cluster under different policies or placements is cheap.
+    /// Wraps an already-compiled cluster. No plan compilation happens
+    /// here, so building many simulations over one cluster is cheap.
     ///
     /// # Panics
     ///
-    /// Panics if the trace is not in arrival order, if a request names
-    /// a network outside the cluster's table, or if `placement`
-    /// returns an out-of-range shard.
+    /// Panics if the trace is not in arrival order or if a request
+    /// names a network outside the cluster's table.
     #[must_use]
-    pub fn admit(
+    pub fn with_cluster(
         cluster: Arc<ServeCluster>,
         policy: Arc<dyn BatchPolicy>,
-        placement: &mut dyn Placement,
         trace: &[Request],
+        config: EngineConfig,
     ) -> Self {
-        // The drain's admission cursor and the backlog-aware placements
-        // both assume arrival order; an unsorted trace would silently
-        // skew every latency, so reject it loudly here.
+        // The event queue merges the trace as a sorted stream and the
+        // backlog-aware placements assume arrival order; an unsorted
+        // trace would silently skew every latency, so reject it loudly.
         assert!(
             trace.windows(2).all(|w| w[0].arrival_ms <= w[1].arrival_ms),
             "trace must be sorted by arrival_ms"
         );
-        let mut assigned: Vec<Vec<Request>> = vec![Vec::new(); cluster.shard_count()];
-        let view = cluster.view();
         for request in trace {
             assert!(
-                request.network < cluster.networks.len(),
+                request.network < cluster.networks().len(),
                 "request {} targets unknown network {}",
                 request.id,
                 request.network
             );
-            let shard = placement.assign(request, &view);
-            assert!(
-                shard < assigned.len(),
-                "placement routed request {} to shard {shard} of {}",
-                request.id,
-                assigned.len()
-            );
-            assigned[shard].push(*request);
         }
         ServeSim {
             cluster,
             policy,
-            assigned,
+            trace: trace.to_vec(),
+            config,
         }
     }
 
-    /// The compiled cluster this admission runs over.
+    /// The compiled cluster this simulation runs over.
     #[must_use]
     pub fn cluster(&self) -> &Arc<ServeCluster> {
         &self.cluster
+    }
+
+    /// The engine configuration.
+    #[must_use]
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The batching policy.
+    #[must_use]
+    pub fn policy(&self) -> &Arc<dyn BatchPolicy> {
+        &self.policy
+    }
+
+    /// The arrival trace, in arrival order.
+    #[must_use]
+    pub fn trace(&self) -> &[Request] {
+        &self.trace
     }
 
     /// Number of shards in the cluster.
@@ -348,212 +397,67 @@ impl ServeSim {
         self.cluster.shard_executor(shard)
     }
 
-    /// The requests admission routed to a shard, in arrival order.
-    #[must_use]
-    pub fn assigned(&self, shard: usize) -> &[Request] {
-        &self.assigned[shard]
-    }
-
-    /// The batch-1 cost matrix (`[shard][network]`, ms) placements saw.
+    /// The batch-1 cost matrix (`[shard][network]`, ms).
     #[must_use]
     pub fn unit_service_ms(&self) -> &[Vec<f64>] {
         self.cluster.unit_service_ms()
     }
 
-    /// Drains one shard's queues on the simulated clock.
+    /// Runs the discrete-event engine over the trace.
+    ///
+    /// `placement` must be fresh (strategies carry state); re-running
+    /// with an equally fresh placement reproduces the result
+    /// byte-for-byte.
     ///
     /// # Panics
     ///
     /// Panics if the shard's backend rejects a batched plan compile;
-    /// use [`ServeSim::try_simulate_shard`] to handle that as a value
-    /// (the five built-in backends never reject a batch of a network
-    /// they already planned at batch 1, but a custom size-limited
-    /// backend may).
+    /// use [`ServeSim::try_run`] to handle that as a value (the
+    /// built-in backends never reject a batch of a network they
+    /// already planned at batch 1, but a custom size-limited backend
+    /// may). Also panics if `placement` routes out of range or a
+    /// policy wedges a queue (never becomes ready).
     #[must_use]
-    pub fn simulate_shard(&self, shard: usize) -> ShardReport {
-        self.try_simulate_shard(shard)
-            .expect("backend rejected a batched plan; use try_simulate_shard")
+    pub fn run(&self, placement: &mut dyn Placement) -> ServeRun {
+        self.try_run(placement)
+            .expect("backend rejected a batched plan; use try_run")
     }
 
-    /// Drains one shard's queues, surfacing backend rejections.
-    ///
-    /// Pure in `&self`: repeat calls (and calls from any thread) return
-    /// identical reports. Batched service time is a real
-    /// [`NetworkPlan::run`] replay of the plan compiled at the batch's
-    /// exact size, so serve-layer costs are bit-identical to direct
-    /// executor runs (pinned by the serve-parity suite).
+    /// Runs the discrete-event engine, surfacing backend rejections.
     ///
     /// # Errors
     ///
     /// Propagates a [`RuntimeError`] from the backend rejecting a lazy
-    /// batched-plan compile mid-drain (a custom backend may accept a
+    /// batched-plan compile mid-run (a custom backend may accept a
     /// shape at batch 1 but reject it scaled by the batch size).
-    pub fn try_simulate_shard(&self, shard: usize) -> Result<ShardReport, RuntimeError> {
-        let assigned = &self.assigned[shard];
-        let networks = self.cluster.networks();
-        // Service times memoized per (network, batch): each plan is
-        // compiled and replayed once, after which the batch costs one
-        // map lookup per dispatch. Batch-1 costs come from the
-        // cluster's pre-compiled plans (same `run().total_ms` fold, so
-        // bit-identical).
-        let mut service_cache: HashMap<(usize, usize), f64> = self.cluster.unit_service_ms[shard]
-            .iter()
-            .enumerate()
-            .map(|(net, &ms)| ((net, 1), ms))
-            .collect();
-        let mut plans_compiled = Vec::new();
-
-        let mut queues: Vec<VecDeque<Request>> = vec![VecDeque::new(); networks.len()];
-        let mut future_per_net = vec![0usize; networks.len()];
-        for request in assigned {
-            future_per_net[request.network] += 1;
-        }
-
-        let mut report = ShardReport {
-            shard,
-            platform: self.cluster.platforms[shard],
-            requests: Vec::with_capacity(assigned.len()),
-            batches: Vec::new(),
-            busy_ms: 0.0,
-            makespan_ms: 0.0,
-            plans_compiled: Vec::new(),
-        };
-
-        let mut next = 0usize; // cursor into the shard's assignment
-        let mut now_ms = 0.0_f64;
-        loop {
-            // Admit everything that has arrived by `now_ms`.
-            while next < assigned.len() && assigned[next].arrival_ms <= now_ms {
-                let request = assigned[next];
-                future_per_net[request.network] -= 1;
-                queues[request.network].push_back(request);
-                next += 1;
-            }
-            if next == assigned.len() && queues.iter().all(VecDeque::is_empty) {
-                break;
-            }
-
-            // Ask the policy about every non-empty queue; dispatch the
-            // ready queue whose head has waited longest (FIFO across
-            // networks, ties to the lowest network index).
-            let mut dispatch: Option<(usize, usize, f64)> = None; // (net, take, head arrival)
-            let mut wake_ms = f64::INFINITY;
-            for (net, queue) in queues.iter_mut().enumerate() {
-                if queue.is_empty() {
-                    continue;
-                }
-                // O(1) when the ring has not wrapped since the last
-                // front drain; policies see a plain FIFO slice.
-                let contiguous: &[Request] = queue.make_contiguous();
-                match self
-                    .policy
-                    .decide(contiguous, now_ms, future_per_net[net] > 0)
-                {
-                    PolicyDecision::Dispatch { take } => {
-                        let take = take.clamp(1, contiguous.len());
-                        let head = contiguous[0].arrival_ms;
-                        let earlier = dispatch.is_none_or(|(_, _, best)| head < best);
-                        if earlier {
-                            dispatch = Some((net, take, head));
-                        }
-                    }
-                    PolicyDecision::WaitUntil(at) => wake_ms = wake_ms.min(at),
-                    PolicyDecision::WaitForArrivals => {}
-                }
-            }
-
-            if let Some((net, take, _)) = dispatch {
-                let service_ms = match service_cache.entry((net, take)) {
-                    std::collections::hash_map::Entry::Occupied(hit) => *hit.get(),
-                    std::collections::hash_map::Entry::Vacant(slot) => {
-                        let plan = self
-                            .cluster
-                            .shard_executor(shard)
-                            .with_batch(take)
-                            .try_plan(&networks[net])?;
-                        plans_compiled.push((net, take));
-                        *slot.insert(plan.run().total_ms)
-                    }
-                };
-                let completion_ms = now_ms + service_ms;
-                report.batches.push(BatchRecord {
-                    network: net,
-                    size: take,
-                    start_ms: now_ms,
-                    service_ms,
-                });
-                for request in queues[net].drain(..take) {
-                    report.requests.push(ServedRequest {
-                        id: request.id,
-                        network: request.network,
-                        arrival_ms: request.arrival_ms,
-                        start_ms: now_ms,
-                        completion_ms,
-                        batch_size: take,
-                    });
-                }
-                report.busy_ms += service_ms;
-                report.makespan_ms = completion_ms;
-                now_ms = completion_ms;
-                continue;
-            }
-
-            // Nothing ready: advance to the next deadline expiry or the
-            // next arrival, whichever comes first.
-            if next < assigned.len() {
-                wake_ms = wake_ms.min(assigned[next].arrival_ms);
-            }
-            assert!(
-                wake_ms.is_finite() && wake_ms > now_ms,
-                "shard {shard} stalled at {now_ms} ms (policy never becomes ready)"
-            );
-            now_ms = wake_ms;
-        }
-
-        report.plans_compiled = plans_compiled;
-        Ok(report)
+    pub fn try_run(&self, placement: &mut dyn Placement) -> Result<ServeRun, RuntimeError> {
+        engine::run_engine(
+            &self.cluster,
+            self.policy.as_ref(),
+            placement,
+            &self.trace,
+            &self.config,
+        )
     }
 
-    /// Drains every shard on the calling thread, in shard order.
+    /// Folds a run into the cluster-wide outcome.
     ///
     /// # Panics
     ///
-    /// Panics if a backend rejects a batched plan compile; see
-    /// [`ServeSim::simulate_shard`].
-    #[must_use]
-    pub fn run_serial(&self) -> Vec<ShardReport> {
-        (0..self.shard_count())
-            .map(|s| self.simulate_shard(s))
-            .collect()
-    }
-
-    /// Drains every shard on the calling thread, surfacing backend
-    /// rejections.
-    ///
-    /// # Errors
-    ///
-    /// Propagates the first [`RuntimeError`] from a batched plan
-    /// compile; see [`ServeSim::try_simulate_shard`].
-    pub fn try_run_serial(&self) -> Result<Vec<ShardReport>, RuntimeError> {
-        (0..self.shard_count())
-            .map(|s| self.try_simulate_shard(s))
-            .collect()
-    }
-
-    /// Folds shard reports into the cluster-wide outcome.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `reports` is not one report per shard in shard order
-    /// (mixing reports across simulations would silently misattribute
+    /// Panics if `run` is not one report per shard in shard order
+    /// (mixing runs across simulations would silently misattribute
     /// utilization).
     #[must_use]
-    pub fn outcome(&self, reports: &[ShardReport]) -> ServeOutcome {
-        assert_eq!(reports.len(), self.shard_count(), "one report per shard");
-        for (i, report) in reports.iter().enumerate() {
+    pub fn outcome(&self, run: &ServeRun) -> ServeOutcome {
+        assert_eq!(
+            run.reports.len(),
+            self.shard_count(),
+            "one report per shard"
+        );
+        for (i, report) in run.reports.iter().enumerate() {
             assert_eq!(report.shard, i, "reports must be in shard order");
         }
-        aggregate(reports)
+        aggregate(&run.reports, run.rejected.len())
     }
 }
 
@@ -563,54 +467,67 @@ mod tests {
     use crate::platform::Platform;
     use sma_models::zoo;
 
-    fn small_sim(policy: Arc<dyn BatchPolicy>, placement: &mut dyn Placement) -> ServeSim {
+    fn small_sim(policy: Arc<dyn BatchPolicy>, config: EngineConfig) -> ServeSim {
         let shards = vec![
             Executor::new(Platform::Sma3),
             Executor::new(Platform::GpuTensorCore),
         ];
         let networks = vec![zoo::alexnet(), zoo::vgg_a()];
-        let trace = LoadGenerator::new(11, 2.0).trace(120, networks.len());
-        ServeSim::try_new(shards, networks, policy, placement, &trace).unwrap()
+        let trace = LoadGenerator::new(11, 2.0)
+            .with_slo(30.0)
+            .trace(120, networks.len());
+        ServeSim::try_new(shards, networks, policy, &trace, config).unwrap()
     }
 
     #[test]
     fn every_request_is_served_exactly_once() {
-        let sim = small_sim(Arc::new(Immediate), &mut RoundRobin::default());
-        let reports = sim.run_serial();
-        let mut ids: Vec<u64> = reports
+        let sim = small_sim(Arc::new(Immediate), EngineConfig::default());
+        let run = sim.run(&mut RoundRobin::default());
+        let mut ids: Vec<u64> = run
+            .reports
             .iter()
             .flat_map(|r| r.requests.iter().map(|q| q.id))
             .collect();
         ids.sort_unstable();
         assert_eq!(ids, (0..120).collect::<Vec<u64>>());
-        let outcome = sim.outcome(&reports);
+        assert!(run.rejected.is_empty());
+        let outcome = sim.outcome(&run);
         assert_eq!(outcome.requests, 120);
         assert!(outcome.p50_ms > 0.0);
+        assert!(outcome.p999_ms >= outcome.p99_ms);
+        // Unbounded cache: no evictions, exact counter balance.
+        assert_eq!(outcome.cache.evictions, 0);
+        assert_eq!(
+            outcome.cache.hits + outcome.cache.misses,
+            outcome.cache.lookups
+        );
     }
 
     #[test]
     fn batches_never_start_before_their_requests_arrive() {
-        let sim = small_sim(
-            Arc::new(Deadline::new(5.0, 8)),
-            &mut LeastOutstanding::default(),
-        );
-        for report in sim.run_serial() {
+        let sim = small_sim(Arc::new(Deadline::new(5.0, 8)), EngineConfig::default());
+        let run = sim.run(&mut LeastOutstanding::default());
+        for report in &run.reports {
             for request in &report.requests {
                 assert!(request.start_ms >= request.arrival_ms - 1e-12);
                 assert!(request.completion_ms > request.start_ms);
             }
             // Batches execute back to back, never overlapping.
             for pair in report.batches.windows(2) {
-                assert!(pair[1].start_ms >= pair[0].start_ms + pair[0].service_ms - 1e-9);
+                assert!(
+                    pair[1].start_ms
+                        >= pair[0].start_ms + pair[0].compile_ms + pair[0].service_ms - 1e-9
+                );
             }
         }
     }
 
     #[test]
     fn size_k_forms_full_batches_until_the_tail() {
-        let sim = small_sim(Arc::new(SizeK::new(4)), &mut RoundRobin::default());
-        let reports = sim.run_serial();
-        let sizes: Vec<usize> = reports
+        let sim = small_sim(Arc::new(SizeK::new(4)), EngineConfig::default());
+        let run = sim.run(&mut RoundRobin::default());
+        let sizes: Vec<usize> = run
+            .reports
             .iter()
             .flat_map(|r| r.batches.iter().map(|b| b.size))
             .collect();
@@ -622,33 +539,47 @@ mod tests {
     }
 
     #[test]
-    fn repeat_drains_are_identical() {
-        let sim = small_sim(
-            Arc::new(Deadline::new(3.0, 16)),
-            &mut PlatformAffinity::default(),
-        );
-        let a = sim.run_serial();
-        let b = sim.run_serial();
-        for (x, y) in a.iter().zip(&b) {
-            assert_eq!(x.busy_ms.to_bits(), y.busy_ms.to_bits());
-            assert_eq!(x.makespan_ms.to_bits(), y.makespan_ms.to_bits());
-            assert_eq!(x.requests.len(), y.requests.len());
-            for (p, q) in x.requests.iter().zip(&y.requests) {
-                assert_eq!(p.id, q.id);
-                assert_eq!(p.completion_ms.to_bits(), q.completion_ms.to_bits());
+    fn repeat_runs_are_identical_with_fresh_placements() {
+        for config in [EngineConfig::default(), EngineConfig::legacy()] {
+            let sim = small_sim(Arc::new(Deadline::new(3.0, 16)), config);
+            let a = sim.run(&mut PlatformAffinity::default());
+            let b = sim.run(&mut PlatformAffinity::default());
+            for (x, y) in a.reports.iter().zip(&b.reports) {
+                assert_eq!(x.busy_ms.to_bits(), y.busy_ms.to_bits());
+                assert_eq!(x.makespan_ms.to_bits(), y.makespan_ms.to_bits());
+                assert_eq!(x.requests.len(), y.requests.len());
+                for (p, q) in x.requests.iter().zip(&y.requests) {
+                    assert_eq!(p.id, q.id);
+                    assert_eq!(p.completion_ms.to_bits(), q.completion_ms.to_bits());
+                }
             }
         }
     }
 
     #[test]
     fn affinity_places_each_network_on_one_platform() {
-        let sim = small_sim(Arc::new(Immediate), &mut PlatformAffinity::default());
+        let sim = small_sim(Arc::new(Immediate), EngineConfig::default());
+        let run = sim.run(&mut PlatformAffinity::default());
         for net in 0..sim.networks().len() {
-            let hosts: std::collections::BTreeSet<&str> = (0..sim.shard_count())
-                .filter(|&s| sim.assigned(s).iter().any(|r| r.network == net))
-                .map(|s| sim.shard_executor(s).backend().name())
+            let hosts: std::collections::BTreeSet<&str> = run
+                .reports
+                .iter()
+                .filter(|r| r.requests.iter().any(|q| q.network == net))
+                .map(|r| r.platform)
                 .collect();
             assert!(hosts.len() <= 1, "network {net} spread over {hosts:?}");
         }
+    }
+
+    #[test]
+    fn least_backlog_uses_the_live_view() {
+        // Online admission: the live-backlog placement spreads load
+        // across both shards even though round-robin state is absent.
+        let sim = small_sim(Arc::new(Immediate), EngineConfig::default());
+        let run = sim.run(&mut LeastBacklog);
+        assert!(
+            run.reports.iter().all(|r| !r.requests.is_empty()),
+            "both shards serve under least-backlog"
+        );
     }
 }

@@ -1,15 +1,20 @@
 //! Shard placement strategies.
 //!
-//! Placement runs in the sequential admission phase of the simulation:
-//! requests are walked in arrival order and each is pinned to a shard
-//! before any shard starts draining. Strategies may keep mutable state
-//! (cursors, load estimates) — the walk order is deterministic, so the
-//! assignment is too.
+//! Placement is an **online decision point** of the event engine:
+//! strategies are invoked at each request's arrival event, in arrival
+//! order, with a [`ClusterView`] of the cluster's frozen cost matrix
+//! *and* its live state at that instant — per-shard backlog, in-flight
+//! batch sizes and plan-cache residency. Strategies may keep mutable
+//! state (cursors, load estimates); the event order is deterministic,
+//! so the assignment is too. (Under the legacy-parity admission mode
+//! the live fields are all zero — exactly what the pre-engine
+//! sequential admission pass exposed.)
 
 use super::load::Request;
 
-/// What a placement strategy may inspect: the cluster's shard table and
-/// the frozen batch-1 cost matrix.
+/// What a placement strategy may inspect: the cluster's shard table,
+/// the frozen batch-1 cost matrix, and the live per-shard state at the
+/// decision instant.
 #[derive(Debug, Clone, Copy)]
 pub struct ClusterView<'a> {
     /// Backend name per shard (e.g. `3-SMA`), in shard order.
@@ -19,6 +24,14 @@ pub struct ClusterView<'a> {
     /// the pre-compiled plans, so it is the simulation's own cost
     /// model, not an independent guess).
     pub unit_service_ms: &'a [Vec<f64>],
+    /// Live backlog: requests queued (not yet dispatched) per shard.
+    pub queued: &'a [usize],
+    /// Live in-flight batch size per shard (0 when the shard is idle).
+    pub in_flight: &'a [usize],
+    /// Live plan-cache residency per shard, in bytes (0 under an
+    /// unbounded cache before any dispatch, grows as plans are
+    /// admitted).
+    pub resident_plan_bytes: &'a [u64],
 }
 
 impl ClusterView<'_> {
@@ -26,6 +39,12 @@ impl ClusterView<'_> {
     #[must_use]
     pub fn shard_count(&self) -> usize {
         self.platforms.len()
+    }
+
+    /// Live outstanding requests on a shard: queued plus in flight.
+    #[must_use]
+    pub fn outstanding(&self, shard: usize) -> usize {
+        self.queued[shard] + self.in_flight[shard]
     }
 }
 
@@ -59,6 +78,33 @@ impl Placement for RoundRobin {
         let shard = self.next % cluster.shard_count();
         self.next = (self.next + 1) % cluster.shard_count();
         shard
+    }
+}
+
+/// Least-backlog: routes each request to the shard with the fewest
+/// live outstanding requests (queued + in flight) at its arrival
+/// event, ties to the lowest index. Unlike [`LeastOutstanding`], which
+/// maintains its own busy-horizon *model* of the cluster, this
+/// strategy reads the engine's actual state — it reacts to the load
+/// that is really present, including backlog created by plan-compile
+/// stalls and cache evictions the model cannot see.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LeastBacklog;
+
+impl Placement for LeastBacklog {
+    fn label(&self) -> String {
+        "least-backlog".into()
+    }
+
+    fn assign(&mut self, _request: &Request, cluster: &ClusterView<'_>) -> usize {
+        (0..cluster.shard_count())
+            .min_by(|&a, &b| {
+                cluster
+                    .outstanding(a)
+                    .cmp(&cluster.outstanding(b))
+                    .then(a.cmp(&b))
+            })
+            .unwrap_or(0)
     }
 }
 
@@ -144,19 +190,52 @@ mod tests {
             id: 0,
             network,
             arrival_ms,
+            deadline_ms: f64::INFINITY,
+        }
+    }
+
+    /// A view with all-zero live state (what offline admission sees).
+    fn static_view<'a>(
+        platforms: &'a [&'static str],
+        costs: &'a [Vec<f64>],
+        zeros: &'a [usize],
+        zero_bytes: &'a [u64],
+    ) -> ClusterView<'a> {
+        ClusterView {
+            platforms,
+            unit_service_ms: costs,
+            queued: zeros,
+            in_flight: zeros,
+            resident_plan_bytes: zero_bytes,
         }
     }
 
     #[test]
     fn round_robin_cycles() {
         let costs = vec![vec![1.0], vec![1.0], vec![1.0]];
-        let view = ClusterView {
-            platforms: &["A", "B", "C"],
-            unit_service_ms: &costs,
-        };
+        let view = static_view(&["A", "B", "C"], &costs, &[0; 3], &[0; 3]);
         let mut rr = RoundRobin::default();
         let picks: Vec<usize> = (0..6).map(|_| rr.assign(&request(0, 0.0), &view)).collect();
         assert_eq!(picks, [0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn least_backlog_follows_the_live_queue_depths() {
+        let costs = vec![vec![1.0], vec![1.0], vec![1.0]];
+        let queued = [3usize, 0, 1];
+        let in_flight = [0usize, 2, 1];
+        let view = ClusterView {
+            platforms: &["A", "B", "C"],
+            unit_service_ms: &costs,
+            queued: &queued,
+            in_flight: &in_flight,
+            resident_plan_bytes: &[0; 3],
+        };
+        // Outstanding: shard0=3, shard1=2, shard2=2 — tie to shard 1.
+        assert_eq!(LeastBacklog.assign(&request(0, 0.0), &view), 1);
+        // All idle: lowest index.
+        let idle = static_view(&["A", "B", "C"], &costs, &[0; 3], &[0; 3]);
+        assert_eq!(LeastBacklog.assign(&request(0, 0.0), &idle), 0);
     }
 
     #[test]
@@ -164,10 +243,7 @@ mod tests {
         // Shard 0 is 10x slower: after it takes the first request, the
         // next several all land on shard 1 until the backlogs balance.
         let costs = vec![vec![10.0], vec![1.0]];
-        let view = ClusterView {
-            platforms: &["slow", "fast"],
-            unit_service_ms: &costs,
-        };
+        let view = static_view(&["slow", "fast"], &costs, &[0; 2], &[0; 2]);
         let mut lw = LeastOutstanding::default();
         assert_eq!(
             lw.assign(&request(0, 0.0), &view),
@@ -189,10 +265,7 @@ mod tests {
         // Network 0 is fastest on platform "B" (shards 1 and 2);
         // network 1 on "A" (shard 0 only).
         let costs = vec![vec![5.0, 1.0], vec![2.0, 4.0], vec![2.0, 4.0]];
-        let view = ClusterView {
-            platforms: &["A", "B", "B"],
-            unit_service_ms: &costs,
-        };
+        let view = static_view(&["A", "B", "B"], &costs, &[0; 3], &[0; 3]);
         let mut aff = PlatformAffinity::default();
         let n0: Vec<usize> = (0..4)
             .map(|_| aff.assign(&request(0, 0.0), &view))

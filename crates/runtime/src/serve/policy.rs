@@ -29,6 +29,11 @@ pub enum PolicyDecision {
 ///
 /// Implementations must be pure functions of their arguments — the
 /// simulation replays decisions and expects byte-identical outcomes.
+/// The event engine consults `decide` at every event that can change a
+/// queue's readiness (an arrival, a batch-close timer it scheduled
+/// from a [`PolicyDecision::WaitUntil`], a service completion); a
+/// queue whose wait already exceeds its bound must therefore dispatch
+/// *at that decision point*, never hold out for the next arrival.
 pub trait BatchPolicy: std::fmt::Debug + Send + Sync {
     /// Short label used in reports (`immediate`, `size8`, …).
     fn label(&self) -> String;
@@ -38,6 +43,16 @@ pub trait BatchPolicy: std::fmt::Debug + Send + Sync {
     /// request for this queue's network can reach this shard — policies
     /// must eventually dispatch in that state or the drain would stall.
     fn decide(&self, queue: &[Request], now_ms: f64, more_arrivals: bool) -> PolicyDecision;
+
+    /// Priority of a dispatch-ready queue when several queues on one
+    /// shard are ready at the same event: the engine launches the queue
+    /// with the **lowest** urgency, ties to the lowest network index.
+    /// The default is the head request's arrival instant — FIFO across
+    /// networks, exactly the pre-engine drain order. SLO-aware policies
+    /// override this (EDF returns the head's deadline).
+    fn urgency(&self, queue: &[Request], _now_ms: f64) -> f64 {
+        queue[0].arrival_ms
+    }
 }
 
 /// No batching: every request is dispatched alone, as soon as the
@@ -121,6 +136,14 @@ impl BatchPolicy for Deadline {
                 take: self.max_batch,
             };
         }
+        // A ripe queue — the oldest request's wait is at or past the
+        // bound — closes at this very decision point (the triggering
+        // event), never at the next arrival. When the queue is not
+        // ripe, the returned instant is the exact expiry so the engine
+        // can schedule the batch-close event there; an engine that only
+        // re-consulted policies on arrivals would hold an expired batch
+        // open until the next request happened to arrive (the
+        // off-by-one-event bug the serve-engine regression suite pins).
         let expiry = queue[0].arrival_ms + self.max_wait_ms;
         if now_ms >= expiry || !more_arrivals {
             PolicyDecision::Dispatch { take: queue.len() }
@@ -142,6 +165,7 @@ mod tests {
                 id: i as u64,
                 network: 0,
                 arrival_ms,
+                deadline_ms: f64::INFINITY,
             })
             .collect()
     }
@@ -200,5 +224,37 @@ mod tests {
             PolicyDecision::Dispatch { take: 1 },
             "end of trace dispatches without waiting out the deadline"
         );
+    }
+
+    /// Regression (the latent off-by-one-event bug): a batch whose
+    /// wait already exceeds the deadline must close at the decision
+    /// point that observed it — a completion freeing a busy shard, a
+    /// batch-close timer — and never survive until the next arrival.
+    #[test]
+    fn deadline_ripe_queue_closes_at_the_triggering_event() {
+        let policy = Deadline::new(4.0, 16);
+        let q = queue(&[10.0, 11.0]); // head expiry: 14.0
+        for now in [14.0, 14.5, 100.0] {
+            assert_eq!(
+                policy.decide(&q, now, true),
+                PolicyDecision::Dispatch { take: 2 },
+                "wait exceeded at now={now}: the batch must close here"
+            );
+        }
+        // Not ripe: the policy names the exact batch-close instant so
+        // the engine can schedule the event (nothing vaguer — an
+        // engine re-consulting only on arrivals would strand it).
+        assert_eq!(
+            policy.decide(&q, 13.9, true),
+            PolicyDecision::WaitUntil(14.0)
+        );
+    }
+
+    #[test]
+    fn default_urgency_is_head_arrival_fifo() {
+        let q = queue(&[3.0, 9.0]);
+        assert_eq!(Immediate.urgency(&q, 50.0), 3.0);
+        assert_eq!(SizeK::new(4).urgency(&q, 50.0), 3.0);
+        assert_eq!(Deadline::new(1.0, 2).urgency(&q, 50.0), 3.0);
     }
 }

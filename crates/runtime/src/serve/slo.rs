@@ -1,0 +1,158 @@
+//! SLO-aware scheduling: earliest-deadline-first batching.
+//!
+//! The policies in [`policy`](super::policy) treat time as a batching
+//! knob — wait bounds limit *added* latency but know nothing about the
+//! request's service-level objective. [`EarliestDeadlineFirst`] closes
+//! the loop with the [`Request::deadline_ms`] the
+//! [`LoadGenerator`](super::LoadGenerator) stamps on every request
+//! (see [`LoadGenerator::with_slo`](super::LoadGenerator::with_slo)):
+//!
+//! * **Within a shard**, dispatch-ready queues launch in deadline
+//!   order, not arrival order — the policy overrides
+//!   [`BatchPolicy::urgency`] with the head request's deadline, which
+//!   is exactly EDF for a single server.
+//! * **Per queue**, an undersized batch holds for more arrivals only
+//!   while the head's deadline still has more than `slack_ms` of
+//!   margin; the batch-close event fires at `deadline - slack` so the
+//!   request leaves in time to (just) make its SLO if the shard is
+//!   free. `slack_ms` should cover one expected service time.
+//!
+//! Deadline *misses* are accounted by the metrics layer
+//! ([`ServeOutcome::deadline_misses`](super::ServeOutcome::deadline_misses),
+//! [`ServeOutcome::goodput`](super::ServeOutcome::goodput)) for every
+//! policy, so EDF's effect is directly comparable against the
+//! SLO-blind policies in `BENCH_serve.json`.
+
+use super::load::Request;
+use super::policy::{BatchPolicy, PolicyDecision};
+
+/// Earliest-deadline-first dynamic batching with an SLO slack bound.
+///
+/// Dispatches once `max_batch` requests are queued, once the head
+/// request's deadline is within `slack_ms` (the batch-close event), or
+/// once no more arrivals can reach the queue. Requests without a
+/// finite deadline fall back to waiting for arrivals (they cannot miss
+/// an SLO, so amortisation wins).
+#[derive(Debug, Clone, Copy)]
+pub struct EarliestDeadlineFirst {
+    slack_ms: f64,
+    max_batch: usize,
+}
+
+impl EarliestDeadlineFirst {
+    /// An EDF policy closing batches `slack_ms` before the head
+    /// deadline, at `max_batch` queued requests at the latest.
+    #[must_use]
+    pub fn new(slack_ms: f64, max_batch: usize) -> Self {
+        EarliestDeadlineFirst {
+            slack_ms: slack_ms.max(0.0),
+            max_batch: max_batch.max(1),
+        }
+    }
+}
+
+impl BatchPolicy for EarliestDeadlineFirst {
+    fn label(&self) -> String {
+        format!("edf{:.2}ms-max{}", self.slack_ms, self.max_batch)
+    }
+
+    fn decide(&self, queue: &[Request], now_ms: f64, more_arrivals: bool) -> PolicyDecision {
+        if queue.len() >= self.max_batch {
+            return PolicyDecision::Dispatch {
+                take: self.max_batch,
+            };
+        }
+        if !more_arrivals {
+            return PolicyDecision::Dispatch { take: queue.len() };
+        }
+        let close_at = queue[0].deadline_ms - self.slack_ms;
+        if !close_at.is_finite() {
+            // No SLO to protect: hold for amortisation.
+            return PolicyDecision::WaitForArrivals;
+        }
+        if now_ms >= close_at {
+            // The head's slack is spent — same contract as `Deadline`:
+            // a ripe batch closes at the triggering event, never at
+            // the next arrival.
+            PolicyDecision::Dispatch { take: queue.len() }
+        } else {
+            PolicyDecision::WaitUntil(close_at)
+        }
+    }
+
+    /// EDF proper: among dispatch-ready queues, the soonest head
+    /// deadline launches first (infinite deadlines sort last).
+    fn urgency(&self, queue: &[Request], _now_ms: f64) -> f64 {
+        queue[0].deadline_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(arrival_ms: f64, deadline_ms: f64) -> Request {
+        Request {
+            id: 0,
+            network: 0,
+            arrival_ms,
+            deadline_ms,
+        }
+    }
+
+    #[test]
+    fn edf_trips_on_size_slack_or_tail() {
+        let policy = EarliestDeadlineFirst::new(3.0, 2);
+        let q1 = [request(10.0, 20.0)];
+        assert_eq!(
+            policy.decide(&q1, 11.0, true),
+            PolicyDecision::WaitUntil(17.0),
+            "batch-close event at deadline - slack"
+        );
+        assert_eq!(
+            policy.decide(&q1, 17.0, true),
+            PolicyDecision::Dispatch { take: 1 },
+            "slack spent: dispatch at the triggering event"
+        );
+        assert_eq!(
+            policy.decide(&q1, 18.5, true),
+            PolicyDecision::Dispatch { take: 1 },
+            "already past the close instant (shard was busy): still now"
+        );
+        assert_eq!(
+            policy.decide(&q1, 11.0, false),
+            PolicyDecision::Dispatch { take: 1 },
+            "end of trace flushes"
+        );
+        let q2 = [request(10.0, 20.0), request(10.5, 20.5)];
+        assert_eq!(
+            policy.decide(&q2, 10.5, true),
+            PolicyDecision::Dispatch { take: 2 },
+            "max_batch reached"
+        );
+    }
+
+    #[test]
+    fn edf_urgency_is_head_deadline() {
+        let policy = EarliestDeadlineFirst::new(1.0, 8);
+        let urgent = [request(5.0, 9.0)];
+        let lax = [request(1.0, 30.0)];
+        // FIFO would launch `lax` first (older head); EDF launches
+        // `urgent` (sooner deadline).
+        assert!(policy.urgency(&urgent, 6.0) < policy.urgency(&lax, 6.0));
+    }
+
+    #[test]
+    fn edf_without_slo_waits_for_amortisation() {
+        let policy = EarliestDeadlineFirst::new(2.0, 4);
+        let q = [request(0.0, f64::INFINITY)];
+        assert_eq!(
+            policy.decide(&q, 1e9, true),
+            PolicyDecision::WaitForArrivals
+        );
+        assert_eq!(
+            policy.decide(&q, 1e9, false),
+            PolicyDecision::Dispatch { take: 1 }
+        );
+    }
+}

@@ -1,21 +1,24 @@
 //! Serving-simulation system tests: byte-identical `BENCH_serve.json`
-//! across runs and thread counts, exact GEMM-cache invariants under
-//! serving concurrency, and distinct latency profiles across the
-//! policy × placement matrix.
+//! across runs and thread counts, the acceptance pins on the benchmark
+//! matrix (legacy rows distinct and eviction/SLO activity in the
+//! online rows), and exact GEMM-cache invariants under concurrent
+//! engine runs sharing one backend.
 
 use sma::runtime::backend::{Backend, SmaBackend};
-use sma::runtime::serve::{RoundRobin, ServeSim, SizeK};
+use sma::runtime::serve::{EngineConfig, RoundRobin, ServeSim, SizeK};
 use sma::runtime::{Executor, Platform};
-use sma_bench::serve::{default_scenario, run_matrix, run_shards};
+use sma_bench::serve::{default_scenario, run_matrix};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
 mod common;
 use common::{serve_networks, serve_trace};
 
-/// Same seed + same policy matrix ⇒ byte-identical report, whether the
-/// shard drains run on one sweep worker or many. Wall-clock leaking
-/// into the simulated clock would break this immediately.
+/// Same seed + same matrix ⇒ byte-identical report, whether the combos
+/// run on one sweep worker or many — each combo's engine run is
+/// single-threaded, so worker count can only move wall-clock.
+/// Wall-clock leaking into the simulated clock would break this
+/// immediately.
 #[test]
 fn bench_serve_json_is_byte_identical_across_runs_and_threads() {
     let first = run_matrix(&default_scenario(800, 42).unwrap(), 1);
@@ -31,31 +34,47 @@ fn bench_serve_json_is_byte_identical_across_runs_and_threads() {
     assert_ne!(first.to_json(), other.to_json());
 }
 
-/// The acceptance grid: every policy × placement combination serves
-/// the same trace to a distinct, explainable latency/utilization
-/// profile (deterministic, so exact comparison is safe).
+/// The acceptance grid: the legacy block serves the same trace to
+/// distinct, explainable latency profiles (deterministic, so exact
+/// comparison is safe), and the online block shows the new machinery
+/// working — eviction activity under the bounded cache and nonzero
+/// deadline-miss accounting under EDF.
 #[test]
-fn policy_placement_combos_are_pairwise_distinct() {
+fn matrix_blocks_pin_the_acceptance_criteria() {
     let report = run_matrix(&default_scenario(1200, 0xDAC2_0020).unwrap(), 2);
-    assert_eq!(report.combos.len(), 9);
-    let profiles: BTreeSet<(u64, u64)> = report
+    assert_eq!(report.combos.len(), 25);
+
+    // Legacy block: nine pairwise-distinct p50/p99 profiles.
+    let legacy: Vec<_> = report
         .combos
+        .iter()
+        .filter(|c| c.admission == "preplaced")
+        .collect();
+    assert_eq!(legacy.len(), 9);
+    let profiles: BTreeSet<(u64, u64)> = legacy
         .iter()
         .map(|c| (c.outcome.p50_ms.to_bits(), c.outcome.p99_ms.to_bits()))
         .collect();
-    assert_eq!(profiles.len(), 9, "two combos produced identical p50/p99");
+    assert_eq!(
+        profiles.len(),
+        9,
+        "two legacy combos produced identical p50/p99"
+    );
 
     for combo in &report.combos {
         let o = &combo.outcome;
-        assert_eq!(o.requests, 1200);
-        assert!(o.p50_ms > 0.0 && o.p99_ms >= o.p50_ms && o.max_ms >= o.p99_ms);
+        assert_eq!(o.requests + o.rejected, 1200);
+        assert!(o.p50_ms > 0.0 && o.p99_ms >= o.p50_ms && o.p999_ms >= o.p99_ms);
+        assert!(o.max_ms >= o.p999_ms);
         assert!(o
             .shards
             .iter()
             .all(|s| (0.0..=1.0 + 1e-9).contains(&s.utilization)));
+        assert_eq!(o.cache.hits + o.cache.misses, o.cache.lookups);
+        assert!((0.0..=1.0).contains(&o.goodput));
         let batched: u64 = o.batch_histogram.iter().map(|&(_, n)| n).sum();
         assert!(batched > 0);
-        if combo.policy == "immediate" {
+        if combo.policy == "immediate" && combo.admission == "preplaced" {
             assert_eq!(
                 o.batch_histogram,
                 vec![(1, 1200)],
@@ -63,52 +82,99 @@ fn policy_placement_combos_are_pairwise_distinct() {
             );
         }
     }
+
+    // Online bounded rows: the budget forces evictions, and goodput
+    // reconciles with the miss/reject accounting.
+    let bounded: Vec<_> = report
+        .combos
+        .iter()
+        .filter(|c| c.admission == "online" && c.cache_budget != "unbounded")
+        .collect();
+    assert_eq!(bounded.len(), 8);
+    assert!(
+        bounded.iter().all(|c| c.outcome.cache.evictions > 0),
+        "every bounded-cache row must show eviction activity"
+    );
+
+    // EDF rows: the SLO is tight enough that misses are nonzero, and
+    // EDF still lands most requests.
+    let edf: Vec<_> = report
+        .combos
+        .iter()
+        .filter(|c| c.policy.starts_with("edf"))
+        .collect();
+    assert_eq!(edf.len(), 4);
+    for combo in &edf {
+        let o = &combo.outcome;
+        assert!(
+            o.deadline_misses > 0,
+            "EDF under ~0.9 load with a 2.5x-unit SLO must miss some deadlines"
+        );
+        assert!(o.deadline_misses < o.requests as u64);
+        let expected =
+            (o.requests as u64 - o.deadline_misses) as f64 / (o.requests + o.rejected) as f64;
+        assert_eq!(o.goodput.to_bits(), expected.to_bits());
+    }
 }
 
-/// GemmCache invariants end-to-end under serving concurrency: eight
-/// shards share one backend instance and compile plans in parallel
-/// while draining; afterwards the shared cache's counters must balance
-/// exactly — `hits + misses == lookups` and `misses == resident
-/// shapes` — not just in isolation but through a full serve run.
+/// GemmCache invariants end-to-end under serving concurrency: four
+/// engine runs over four clusters whose sixteen shards all share one
+/// backend instance, compiling plans in parallel; afterwards the
+/// shared cache's counters must balance exactly — `hits + misses ==
+/// lookups` and `misses == resident shapes` — not just in isolation
+/// but through full serve runs racing each other.
 #[test]
-fn shared_gemm_cache_counters_stay_exact_through_a_serve_run() {
-    const SHARDS: usize = 8;
+fn shared_gemm_cache_counters_stay_exact_through_concurrent_serve_runs() {
+    const SIMS: usize = 4;
+    const SHARDS: usize = 4;
     let backend: Arc<SmaBackend> = Arc::new(SmaBackend::iso_area_3sma());
-    let shards: Vec<Executor> = (0..SHARDS)
-        .map(|_| {
-            Executor::builder(Platform::Sma3)
-                .backend(Arc::clone(&backend) as Arc<dyn Backend>)
-                .build()
-        })
-        .collect();
     let networks = serve_networks();
     let gemm_layers: Vec<u64> = networks
         .iter()
         .map(|n| n.gemm_shapes().len() as u64)
         .collect();
+    let trace = serve_trace(7, 600, 0.5);
 
-    let sim = Arc::new(
-        ServeSim::try_new(
-            shards,
-            networks,
-            Arc::new(SizeK::new(5)),
-            &mut RoundRobin::default(),
-            &serve_trace(7, 2400, 0.5),
-        )
-        .unwrap(),
-    );
-    // Drain all shards concurrently: every worker hammers the one
-    // shared cache through its lazy batched-plan compiles.
-    let reports = run_shards(&sim, SHARDS);
+    let sims: Vec<ServeSim> = (0..SIMS)
+        .map(|i| {
+            let shards: Vec<Executor> = (0..SHARDS)
+                .map(|_| {
+                    Executor::builder(Platform::Sma3)
+                        .backend(Arc::clone(&backend) as Arc<dyn Backend>)
+                        .build()
+                })
+                .collect();
+            ServeSim::try_new(
+                shards,
+                serve_networks(),
+                Arc::new(SizeK::new(3 + i)), // distinct batch keys per sim
+                &trace,
+                EngineConfig::default(),
+            )
+            .unwrap()
+        })
+        .collect();
 
-    // Every gemm() lookup is accounted for: admission compiled one
-    // batch-1 plan per shard x network, each drain compiled its
-    // recorded (network, batch) plans, and a plan compile performs one
-    // lookup per GEMM layer. Replays perform none.
-    let mut lookups: u64 = SHARDS as u64 * gemm_layers.iter().sum::<u64>();
-    for report in &reports {
-        for &(network, _batch) in &report.plans_compiled {
-            lookups += gemm_layers[network];
+    // Race the four engine runs: every worker hammers the one shared
+    // cache through its lazy batched-plan compiles.
+    let runs: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = sims
+            .iter()
+            .map(|sim| scope.spawn(move || sim.run(&mut RoundRobin::default())))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Every gemm() lookup is accounted for: each cluster compiled one
+    // batch-1 plan per shard x network, each run compiled its recorded
+    // (network, batch) plans, and a plan compile performs one lookup
+    // per GEMM layer. Replays perform none.
+    let mut lookups: u64 = (SIMS * SHARDS) as u64 * gemm_layers.iter().sum::<u64>();
+    for run in &runs {
+        for report in &run.reports {
+            for &(network, _batch) in &report.plans_compiled {
+                lookups += gemm_layers[network];
+            }
         }
     }
 
@@ -123,9 +189,11 @@ fn shared_gemm_cache_counters_stay_exact_through_a_serve_run() {
         backend.gemm_cache_len() as u64,
         "misses must equal resident shapes, even under contention"
     );
-    assert!(stats.hits > 0, "concurrent shards must share estimates");
+    assert!(stats.hits > 0, "concurrent runs must share estimates");
 
-    // And the serve run itself stayed coherent.
-    let served: usize = reports.iter().map(|r| r.requests.len()).sum();
-    assert_eq!(served, 2400);
+    // And every serve run itself stayed coherent.
+    for run in &runs {
+        let served: usize = run.reports.iter().map(|r| r.requests.len()).sum();
+        assert_eq!(served, 600);
+    }
 }
