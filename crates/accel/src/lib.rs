@@ -17,6 +17,7 @@
 //!   operations neither accelerator supports (DeepLab's CRF runs 10×
 //!   slower there than on the GPU, Fig. 3).
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod cpu;

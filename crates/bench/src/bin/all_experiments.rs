@@ -52,7 +52,7 @@ fn main() {
         serial: PassReport::new(&serial, &before, &mid),
         parallel: PassReport::new(&parallel, &mid, &after),
     };
-    let path = std::env::var("SMA_SWEEP_JSON").unwrap_or_else(|_| String::from("BENCH_sweep.json"));
+    let path = sma_bench::knobs::sweep_json_path();
     match report.write_json(&path) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => {

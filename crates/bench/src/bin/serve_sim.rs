@@ -31,23 +31,12 @@
 use sma_bench::serve::{run_matrix, scenario, ScenarioOptions};
 use sma_bench::sweep;
 
-fn env_parse<T: std::str::FromStr>(key: &str, default: T) -> T {
-    std::env::var(key)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
-
-fn env_opt<T: std::str::FromStr>(key: &str) -> Option<T> {
-    std::env::var(key).ok().and_then(|v| v.parse().ok())
-}
-
 fn main() {
-    let requests = env_parse("SMA_SERVE_REQUESTS", 10_000usize).max(1);
-    let seed = env_parse("SMA_SERVE_SEED", 0xDAC2_0020u64);
+    let requests = sma_bench::knobs::serve_requests();
+    let seed = sma_bench::knobs::serve_seed();
     let options = ScenarioOptions {
-        slo_ms: env_opt::<f64>("SMA_SERVE_SLO_MS"),
-        cache_budget_bytes: env_opt::<u64>("SMA_SERVE_CACHE_KB").map(|kb| kb * 1024),
+        slo_ms: sma_bench::knobs::serve_slo_ms(),
+        cache_budget_bytes: sma_bench::knobs::serve_cache_bytes(),
     };
     let threads = sweep::default_threads();
 
@@ -72,7 +61,7 @@ fn main() {
         println!("{line}");
     }
 
-    let path = std::env::var("SMA_SERVE_JSON").unwrap_or_else(|_| String::from("BENCH_serve.json"));
+    let path = sma_bench::knobs::serve_json_path();
     match report.write_json(&path) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => {

@@ -1,0 +1,96 @@
+//! The single sanctioned home for `SMA_*` environment knobs.
+//!
+//! Every `std::env::var` read in this crate lives here — the
+//! `env-read` lint (see `docs/DETERMINISM.md`) denies reads anywhere
+//! else, so adding a knob means adding a named accessor to this module
+//! and a row to the README knob table. Keeping the key strings, parse
+//! rules, and defaults in one place is what makes "which env vars can
+//! change a run's output?" answerable by reading one file.
+
+use std::str::FromStr;
+
+/// `key` parsed as `T`, or `default` when unset or unparseable.
+fn parse<T: FromStr>(key: &str, default: T) -> T {
+    opt(key).unwrap_or(default)
+}
+
+/// `key` parsed as `T`, or `None` when unset or unparseable.
+fn opt<T: FromStr>(key: &str) -> Option<T> {
+    std::env::var(key).ok().and_then(|v| v.parse().ok())
+}
+
+/// Worker threads: `SMA_SWEEP_THREADS` if set to a positive count,
+/// else the machine's available parallelism.
+#[must_use]
+pub fn sweep_threads() -> usize {
+    opt::<usize>("SMA_SWEEP_THREADS")
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// Replays per grid cell: `SMA_SWEEP_REPS` if set to a positive count,
+/// else 200 (a serving burst large enough that the report times real
+/// work, small enough for CI).
+#[must_use]
+pub fn sweep_reps() -> usize {
+    opt::<usize>("SMA_SWEEP_REPS")
+        .filter(|&n| n > 0)
+        .unwrap_or(200)
+}
+
+/// Sweep report path: `SMA_SWEEP_JSON`, default `BENCH_sweep.json`.
+#[must_use]
+pub fn sweep_json_path() -> String {
+    std::env::var("SMA_SWEEP_JSON").unwrap_or_else(|_| String::from("BENCH_sweep.json"))
+}
+
+/// Serve report path: `SMA_SERVE_JSON`, default `BENCH_serve.json`.
+#[must_use]
+pub fn serve_json_path() -> String {
+    std::env::var("SMA_SERVE_JSON").unwrap_or_else(|_| String::from("BENCH_serve.json"))
+}
+
+/// Trace length for `serve_sim`: `SMA_SERVE_REQUESTS`, default 10 000,
+/// floored at 1.
+#[must_use]
+pub fn serve_requests() -> usize {
+    parse("SMA_SERVE_REQUESTS", 10_000usize).max(1)
+}
+
+/// Trace seed for `serve_sim`: `SMA_SERVE_SEED`, default `0xDAC2_0020`.
+#[must_use]
+pub fn serve_seed() -> u64 {
+    parse("SMA_SERVE_SEED", 0xDAC2_0020u64)
+}
+
+/// SLO override in milliseconds: `SMA_SERVE_SLO_MS`, default derived
+/// from the scenario when unset.
+#[must_use]
+pub fn serve_slo_ms() -> Option<f64> {
+    opt("SMA_SERVE_SLO_MS")
+}
+
+/// Bounded plan-cache budget per shard in bytes: `SMA_SERVE_CACHE_KB`
+/// (the knob is in KiB), default derived from the largest plan.
+#[must_use]
+pub fn serve_cache_bytes() -> Option<u64> {
+    opt::<u64>("SMA_SERVE_CACHE_KB").map(|kb| kb * 1024)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn defaults_hold_when_unset() {
+        // The CI environment never sets these, so the accessors must
+        // return their documented defaults.
+        assert!(super::sweep_threads() >= 1);
+        assert_eq!(super::sweep_json_path(), "BENCH_sweep.json");
+        assert_eq!(super::serve_json_path(), "BENCH_serve.json");
+        assert_eq!(super::serve_requests(), 10_000);
+        assert_eq!(super::serve_seed(), 0xDAC2_0020);
+    }
+}

@@ -10,9 +10,11 @@
 //! batching policy × placement strategy over one seeded trace — and
 //! writes the simulated-clock serving metrics to `BENCH_serve.json`.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod experiments;
+pub mod knobs;
 pub mod serve;
 pub mod sweep;
 pub mod table;

@@ -493,6 +493,9 @@ pub fn run_matrix(scenario: &ServeScenario, threads: usize) -> ServeBenchReport 
     }
     let _ = sweep.run_parallel(threads);
     let combos: Vec<ComboReport> = {
+        // sma-lint: allow(nested-lock) — the per-task lock above lives in a
+        // closure that has finished by the time run_parallel returns; this
+        // re-acquisition is strictly after, never nested.
         let mut slots = slots.lock().expect("serve slots poisoned");
         slots
             .iter_mut()

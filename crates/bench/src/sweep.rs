@@ -87,6 +87,8 @@ use std::io;
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+// sma-lint: allow(wallclock) — wall time IS this module's measurand;
+// it lands in BENCH_sweep.json's wall_ms fields, never in model state.
 use std::time::Instant;
 
 /// One named, self-contained unit of sweep work.
@@ -248,6 +250,7 @@ impl Sweep {
     /// Runs every task on the calling thread, in order.
     #[must_use]
     pub fn run_serial(&self) -> SweepRun {
+        // sma-lint: allow(wallclock) — timing the serial pass is the point.
         let start = Instant::now();
         let tasks = self.tasks.iter().map(run_task).collect();
         SweepRun {
@@ -265,6 +268,7 @@ impl Sweep {
     #[must_use]
     pub fn run_parallel(&self, threads: usize) -> SweepRun {
         let workers = threads.clamp(1, self.tasks.len().max(1));
+        // sma-lint: allow(wallclock) — timing the parallel pass is the point.
         let start = Instant::now();
         let cursor = AtomicUsize::new(0);
         let slots: Mutex<Vec<Option<TaskReport>>> = Mutex::new(vec![None; self.tasks.len()]);
@@ -295,6 +299,7 @@ impl Sweep {
 }
 
 fn run_task(task: &SweepTask) -> TaskReport {
+    // sma-lint: allow(wallclock) — per-task wall_ms is reported, not modeled.
     let start = Instant::now();
     let output = (task.run)();
     TaskReport {
@@ -382,15 +387,7 @@ pub fn all_platforms() -> [Platform; 7] {
 /// machine's available parallelism.
 #[must_use]
 pub fn default_threads() -> usize {
-    std::env::var("SMA_SWEEP_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1)
-        })
+    crate::knobs::sweep_threads()
 }
 
 /// Replays per grid cell: `SMA_SWEEP_REPS` if set, else 200 (a serving
@@ -398,11 +395,7 @@ pub fn default_threads() -> usize {
 /// CI).
 #[must_use]
 pub fn default_reps() -> usize {
-    std::env::var("SMA_SWEEP_REPS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or(200)
+    crate::knobs::sweep_reps()
 }
 
 /// Per-platform GEMM-cache counters at one instant.

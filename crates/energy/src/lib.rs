@@ -29,6 +29,7 @@
 //! assert!(e.total() > e.pe);
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 use serde::{Deserialize, Serialize};
@@ -135,6 +136,8 @@ impl EnergyBreakdown {
     #[must_use]
     pub fn normalised_to(&self, baseline: &EnergyBreakdown) -> EnergyBreakdown {
         let t = baseline.total();
+        // sma-lint: allow(float-eq) — exact-zero divide guard; 0.0 is
+        // exactly representable and the only value that must not divide.
         if t == 0.0 {
             return *self;
         }
@@ -252,8 +255,13 @@ impl EnergyModel {
 }
 
 #[cfg(test)]
-#[allow(clippy::field_reassign_with_default)] // ledgers read best built up
+#[allow(clippy::field_reassign_with_default)]
+// ledgers read best built up
+// Exact float equality in these tests asserts bit-reproducibility of
+// exactly-representable values; an epsilon would weaken them.
+#[allow(clippy::float_cmp)]
 mod tests {
+
     use super::*;
 
     fn gemm_ledger(rf: u64, shared: u64, macs: u64) -> MemStats {

@@ -31,6 +31,7 @@
 //! assert_eq!(program.dynamic_instruction_count(), 8);
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod instr;

@@ -1,0 +1,4 @@
+//! Negative fixture: configuration passed as a value.
+pub fn threads(configured: Option<usize>) -> usize {
+    configured.unwrap_or(1)
+}

@@ -1,0 +1,7 @@
+//! Positive fixture: env read outside a knobs module.
+pub fn threads() -> usize {
+    std::env::var("SMA_SWEEP_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}

@@ -1,0 +1,4 @@
+//! Negative fixture: integer ceiling division.
+pub fn cycles(work: u64, rate: u64) -> u64 {
+    work.div_ceil(rate)
+}

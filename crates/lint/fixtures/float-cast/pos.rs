@@ -1,0 +1,4 @@
+//! Positive fixture: unbounded float-to-int cast.
+pub fn cycles(work: f64, rate: f64) -> u64 {
+    (work / rate).ceil() as u64
+}

@@ -1,0 +1,4 @@
+//! Negative fixture: epsilon comparison.
+pub fn is_unit(x: f64) -> bool {
+    (x - 1.0).abs() < 1e-12
+}

@@ -1,0 +1,4 @@
+//! Positive fixture: float equality against a literal.
+pub fn is_unit(x: f64) -> bool {
+    x == 1.0
+}

@@ -1,0 +1,10 @@
+//! Negative fixture: ordered collection.
+use std::collections::BTreeMap;
+
+pub fn tally(keys: &[u32]) -> BTreeMap<u32, u32> {
+    let mut map = BTreeMap::new();
+    for &k in keys {
+        *map.entry(k).or_insert(0) += 1;
+    }
+    map
+}

@@ -1,0 +1,10 @@
+//! Positive fixture: hash-ordered collection in model state.
+use std::collections::HashMap;
+
+pub fn tally(keys: &[u32]) -> HashMap<u32, u32> {
+    let mut map = HashMap::new();
+    for &k in keys {
+        *map.entry(k).or_insert(0) += 1;
+    }
+    map
+}

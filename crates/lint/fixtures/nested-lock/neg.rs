@@ -1,0 +1,8 @@
+//! Negative fixture: one guard per function.
+use std::sync::Mutex;
+
+pub fn withdraw(a: &Mutex<u64>, amount: u64) -> u64 {
+    let mut from = a.lock().unwrap();
+    *from -= amount;
+    *from
+}

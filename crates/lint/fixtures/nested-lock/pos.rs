@@ -1,0 +1,9 @@
+//! Positive fixture: two lock acquisitions in one function.
+use std::sync::Mutex;
+
+pub fn transfer(a: &Mutex<u64>, b: &Mutex<u64>, amount: u64) {
+    let mut from = a.lock().unwrap();
+    let mut to = b.lock().unwrap();
+    *from -= amount;
+    *to += amount;
+}

@@ -1,0 +1,12 @@
+//! Negative fixture: errors as values.
+pub fn head(xs: &[u32]) -> Option<u32> {
+    xs.first().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn asserts_allowed_in_tests() {
+        assert_eq!(super::head(&[7]).unwrap(), 7);
+    }
+}

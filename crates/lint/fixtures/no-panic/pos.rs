@@ -1,0 +1,7 @@
+//! Positive fixture: panicking library code.
+pub fn head(xs: &[u32]) -> u32 {
+    if xs.is_empty() {
+        panic!("empty input");
+    }
+    *xs.first().unwrap()
+}

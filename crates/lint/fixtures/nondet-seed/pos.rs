@@ -1,0 +1,10 @@
+//! Positive fixture: entropy-seeded randomness.
+pub fn seed() -> u64 {
+    let state = std::collections::hash_map::RandomState::new();
+    let _ = &state;
+    thread_rng()
+}
+
+fn thread_rng() -> u64 {
+    0
+}

@@ -1,0 +1,4 @@
+//! Negative fixture: total order over floats.
+pub fn sort(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.total_cmp(b));
+}

@@ -1,0 +1,4 @@
+//! Positive fixture: NaN-dependent sort order.
+pub fn sort(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}

@@ -1,0 +1,8 @@
+//! Negative fixture: interior mutability through an atomic.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+pub fn bump() -> u64 {
+    COUNTER.fetch_add(1, Ordering::Relaxed) + 1
+}

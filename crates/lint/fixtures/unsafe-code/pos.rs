@@ -1,0 +1,9 @@
+//! Positive fixture: unsafe block and mutable static.
+static mut COUNTER: u64 = 0;
+
+pub fn bump() -> u64 {
+    unsafe {
+        COUNTER += 1;
+        COUNTER
+    }
+}

@@ -1,0 +1,4 @@
+//! Negative fixture: simulated clock only.
+pub fn advance(now_ms: f64, service_ms: f64) -> f64 {
+    now_ms + service_ms
+}

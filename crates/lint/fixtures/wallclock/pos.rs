@@ -1,0 +1,7 @@
+//! Positive fixture: wall-clock reads in model code.
+use std::time::Instant;
+
+pub fn elapsed() -> f64 {
+    let start = Instant::now();
+    start.elapsed().as_secs_f64()
+}

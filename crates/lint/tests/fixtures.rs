@@ -1,0 +1,178 @@
+//! Fixture-driven rule tests plus the self-lint and suppression-policy
+//! gates.
+//!
+//! Every rule in the registry must have a `fixtures/<rule>/pos.rs` that
+//! trips it and a `fixtures/<rule>/neg.rs` that does not, so a rule
+//! cannot silently stop matching (or start over-matching) without a
+//! test moving.
+
+use sma_lint::{lint_source, Config, Severity, RULES};
+use std::path::{Path, PathBuf};
+
+/// A policy that runs every rule at deny so positives always surface
+/// (the built-in default for `no-panic` is allow).
+fn all_deny() -> Config {
+    let mut toml = String::from("[default]\n");
+    for rule in RULES {
+        toml.push_str(&format!("{} = \"deny\"\n", rule.id));
+    }
+    Config::parse(&toml).expect("generated policy parses")
+}
+
+fn fixture(rule: &str, which: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(rule)
+        .join(which);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()))
+}
+
+#[test]
+fn every_rule_has_a_tripping_positive_fixture() {
+    let config = all_deny();
+    for rule in RULES {
+        let source = fixture(rule.id, "pos.rs");
+        let (findings, _) = lint_source("fixture", "pos.rs", &source, &config);
+        assert!(
+            findings.iter().any(|f| f.rule == rule.id),
+            "fixtures/{}/pos.rs did not trip {}; found {:?}",
+            rule.id,
+            rule.id,
+            findings.iter().map(|f| f.rule).collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn every_rule_has_a_clean_negative_fixture() {
+    let config = all_deny();
+    for rule in RULES {
+        let source = fixture(rule.id, "neg.rs");
+        let (findings, _) = lint_source("fixture", "neg.rs", &source, &config);
+        assert!(
+            !findings.iter().any(|f| f.rule == rule.id),
+            "fixtures/{}/neg.rs tripped {} at line(s) {:?}",
+            rule.id,
+            rule.id,
+            findings
+                .iter()
+                .filter(|f| f.rule == rule.id)
+                .map(|f| f.line)
+                .collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn positive_fixtures_trip_only_under_deny_or_warn() {
+    // The same positive fixtures fall silent when the policy allows the
+    // rule — severity resolution, not the matcher, decides emission.
+    let mut toml = String::from("[default]\n");
+    for rule in RULES {
+        toml.push_str(&format!("{} = \"allow\"\n", rule.id));
+    }
+    let config = Config::parse(&toml).expect("generated policy parses");
+    for rule in RULES {
+        let source = fixture(rule.id, "pos.rs");
+        let (findings, _) = lint_source("fixture", "pos.rs", &source, &config);
+        assert!(
+            findings.is_empty(),
+            "allow-all policy still emitted {:?} for fixtures/{}/pos.rs",
+            findings,
+            rule.id
+        );
+    }
+}
+
+#[test]
+fn sma_lint_is_clean_on_its_own_sources() {
+    // The linter's own src/ must pass its own workspace policy — the
+    // same one CI enforces (fall back to built-in defaults if the
+    // policy file is ever absent).
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let root = manifest
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    let config = match std::fs::read_to_string(root.join("lint.toml")) {
+        Ok(text) => Config::parse(&text).expect("workspace lint.toml parses"),
+        Err(_) => Config::default(),
+    };
+    let mut stack = vec![manifest.join("src")];
+    let mut checked = 0;
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir).expect("readable src dir") {
+            let path = entry.expect("dir entry").path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                let source = std::fs::read_to_string(&path).expect("readable source");
+                let rel = path
+                    .strip_prefix(root)
+                    .unwrap_or(&path)
+                    .to_string_lossy()
+                    .to_string();
+                let (findings, _) = lint_source("sma-lint", &rel, &source, &config);
+                assert!(
+                    findings.is_empty(),
+                    "self-lint findings in {rel}: {findings:?}"
+                );
+                checked += 1;
+            }
+        }
+    }
+    assert!(
+        checked >= 6,
+        "expected to self-lint all modules, saw {checked}"
+    );
+}
+
+#[test]
+fn suppression_requires_justification() {
+    let source = "use std::time::Instant; // sma-lint: allow(wallclock)\n";
+    let (findings, suppressed) = lint_source("fixture", "lib.rs", source, &all_deny());
+    // A blanket suppression both stands as its own deny finding and
+    // leaves the original finding in force.
+    assert!(
+        suppressed.is_empty(),
+        "blanket suppression must not suppress"
+    );
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == "suppression-justification" && f.severity == Severity::Deny),
+        "missing justification must be a deny finding: {findings:?}"
+    );
+    assert!(
+        findings.iter().any(|f| f.rule == "wallclock"),
+        "the original finding must survive a blanket suppression: {findings:?}"
+    );
+}
+
+#[test]
+fn justified_suppression_moves_finding_to_the_suppressed_list() {
+    let source = "use std::time::Instant; // sma-lint: allow(wallclock) — bench measurand\n";
+    let (findings, suppressed) = lint_source("fixture", "lib.rs", source, &all_deny());
+    assert!(
+        findings.is_empty(),
+        "justified suppression leaks findings: {findings:?}"
+    );
+    // The import line trips wallclock twice (the `std::time` path and
+    // the `Instant` ident); one justified suppression covers both.
+    assert_eq!(suppressed.len(), 2);
+    for s in &suppressed {
+        assert_eq!(s.rule, "wallclock");
+        assert_eq!(s.justification, "bench measurand");
+    }
+}
+
+#[test]
+fn unknown_rule_in_suppression_is_a_deny() {
+    let source = "// sma-lint: allow(no-such-rule) — reason\nfn f() {}\n";
+    let (findings, _) = lint_source("fixture", "lib.rs", source, &all_deny());
+    assert!(
+        findings.iter().any(|f| f.severity == Severity::Deny),
+        "unknown suppressed rule id must deny: {findings:?}"
+    );
+}

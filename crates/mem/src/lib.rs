@@ -31,6 +31,7 @@
 //! assert_eq!(shared.access(&addrs).cycles, 32);
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod banked;

@@ -18,6 +18,7 @@
 //!   inference), each verified against a naive reference, plus cost
 //!   descriptors used by the platform executors.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod layer;

@@ -68,12 +68,7 @@ impl ScoredBox {
 #[must_use]
 pub fn nms(boxes: &[ScoredBox], threshold: f32) -> Vec<usize> {
     let mut order: Vec<usize> = (0..boxes.len()).collect();
-    order.sort_by(|&a, &b| {
-        boxes[b]
-            .score
-            .partial_cmp(&boxes[a].score)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    order.sort_by(|&a, &b| boxes[b].score.total_cmp(&boxes[a].score));
     let mut keep = Vec::new();
     let mut suppressed = vec![false; boxes.len()];
     for &i in &order {
@@ -245,6 +240,10 @@ pub fn crf_mean_field(
 
 #[cfg(test)]
 mod tests {
+    // Exact float equality in these tests asserts bit-reproducibility
+    // of exactly-representable values; an epsilon would weaken them.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
 
     #[test]

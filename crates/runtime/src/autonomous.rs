@@ -53,6 +53,8 @@ impl DrivingPipeline {
     /// see [`DrivingPipeline::try_new`].
     #[must_use]
     pub fn new(platform: Platform) -> Self {
+        // sma-lint: allow(no-panic) — documented panic; try_new is the
+        // fallible form and the panic is this constructor's contract.
         Self::try_new(platform).expect("driving pipeline needs programmable lanes")
     }
 

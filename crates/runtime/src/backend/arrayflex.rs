@@ -139,6 +139,9 @@ impl ArrayFlexModel {
         // Array clocks are longer than base clocks by the divisor; the
         // setup (config-register write, first weight pre-load over the
         // memory pipeline) runs at base clock regardless.
+        // sma-lint: allow(float-cast) — finite positive cycle count
+        // (integer waves*pass scaled by a divisor in [1, 4]); ceil-to-u64
+        // is the cycle-model rounding convention.
         ((waves * pass) as f64 * config.clock_divisor()).ceil() as u64 + ARRAYFLEX_SETUP_CYCLES
     }
 
@@ -153,6 +156,8 @@ impl ArrayFlexModel {
                     .cmp(&self.compute_cycles(shape, b))
                     .then(a.span.cmp(&b.span))
             })
+            // sma-lint: allow(no-panic) — min over a non-empty const
+            // array; unreachable by construction.
             .expect("PipelineConfig::ALL is non-empty")
     }
 
@@ -169,6 +174,8 @@ impl ArrayFlexModel {
         let active = tiles.min(arrays);
         let dram_bytes = (shape.min_bytes(2) as f64 * L2_REUSE_DRAM_FACTOR) as u64;
         let full_bw = self.gpu.dram_bytes_per_cycle_per_sm * f64::from(self.gpu.sms);
+        // sma-lint: allow(float-cast) — byte count over positive
+        // bandwidth; finite and non-negative by construction.
         let dram_floor = (dram_bytes as f64 / full_bw).ceil() as u64;
         let cycles = compute.max(dram_floor) + LAUNCH_OVERHEAD_CYCLES;
 
@@ -300,6 +307,10 @@ impl Backend for ArrayFlexBackend {
 
 #[cfg(test)]
 mod tests {
+    // Exact float equality in these tests asserts bit-reproducibility
+    // of exactly-representable values; an epsilon would weaken them.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
 
     #[test]

@@ -128,6 +128,8 @@ impl FlexSaModel {
             FlexSaMode::FullArray => 0.0,
             FlexSaMode::SubArrays => FLEXSA_DRAIN_CONTENTION * shape.m as f64,
         };
+        // sma-lint: allow(float-cast) — m plus a bounded drain term;
+        // finite and non-negative by construction.
         let pass = (shape.m as f64 + drain).ceil() as u64 + 2 * (dim as u64 - 1) + dim as u64;
         waves * pass + FLEXSA_SETUP_CYCLES
     }
@@ -158,6 +160,8 @@ impl FlexSaModel {
             .min(u64::from(self.gpu.sms));
         let dram_bytes = (shape.min_bytes(2) as f64 * L2_REUSE_DRAM_FACTOR) as u64;
         let full_bw = self.gpu.dram_bytes_per_cycle_per_sm * f64::from(self.gpu.sms);
+        // sma-lint: allow(float-cast) — byte count over positive
+        // bandwidth; finite and non-negative by construction.
         let dram_floor = (dram_bytes as f64 / full_bw).ceil() as u64;
         let cycles = compute.max(dram_floor) + LAUNCH_OVERHEAD_CYCLES;
 

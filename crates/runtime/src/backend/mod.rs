@@ -105,6 +105,8 @@ use sma_core::model::GemmEstimate;
 use sma_mem::MemStats;
 use sma_models::{Layer, LayerWork};
 use sma_tensor::GemmShape;
+// sma-lint: allow(hash-collection) — the GEMM cache is keyed-only
+// (get/insert by GemmShape, never iterated), so hash order is unobservable.
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -322,6 +324,7 @@ const CACHE_SHARDS: usize = 8;
 /// costs one redundant computation, never a wrong answer).
 #[derive(Debug)]
 pub struct GemmCache {
+    // sma-lint: allow(hash-collection) — keyed-only; never iterated.
     shards: [RwLock<HashMap<GemmShape, GemmEstimate>>; CACHE_SHARDS],
     hits: AtomicU64,
     misses: AtomicU64,
@@ -330,6 +333,7 @@ pub struct GemmCache {
 impl Default for GemmCache {
     fn default() -> Self {
         GemmCache {
+            // sma-lint: allow(hash-collection) — keyed-only; never iterated.
             shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -338,6 +342,7 @@ impl Default for GemmCache {
 }
 
 impl GemmCache {
+    // sma-lint: allow(hash-collection) — keyed-only; never iterated.
     fn shard(&self, shape: &GemmShape) -> &RwLock<HashMap<GemmShape, GemmEstimate>> {
         let mut hasher = std::collections::hash_map::DefaultHasher::new();
         shape.hash(&mut hasher);
@@ -358,11 +363,18 @@ impl GemmCache {
         compute: impl FnOnce() -> GemmEstimate,
     ) -> GemmEstimate {
         let shard = self.shard(&shape);
+        // sma-lint: allow(no-panic) — lock poisoning means a panic
+        // already unwound another thread; propagating it is the only
+        // sound response for a pure memo cache.
         if let Some(est) = shard.read().expect("GEMM cache poisoned").get(&shape) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return *est;
         }
         let est = compute();
+        // sma-lint: allow(nested-lock) — the read guard above is a
+        // temporary dropped at its own statement's end; read and write
+        // are strictly sequential, never held together.
+        // sma-lint: allow(no-panic) — poisoning propagation, as above.
         let mut map = shard.write().expect("GEMM cache poisoned");
         match map.entry(shape) {
             std::collections::hash_map::Entry::Occupied(raced) => {
@@ -384,6 +396,7 @@ impl GemmCache {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
+            // sma-lint: allow(no-panic) — poisoning propagation, as above.
             .map(|s| s.read().expect("GEMM cache poisoned").len())
             .sum()
     }
@@ -489,6 +502,10 @@ pub(crate) fn backend_for(platform: Platform) -> Arc<dyn Backend> {
 
 #[cfg(test)]
 mod tests {
+    // Exact float equality in these tests asserts bit-reproducibility
+    // of exactly-representable values; an epsilon would weaken them.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
 
     #[test]

@@ -143,6 +143,10 @@ impl Backend for TpuHostBackend {
 
 #[cfg(test)]
 mod tests {
+    // Exact float equality in these tests asserts bit-reproducibility
+    // of exactly-representable values; an epsilon would weaken them.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
     use sma_models::Layer;
 

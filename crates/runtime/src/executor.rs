@@ -231,6 +231,8 @@ impl Executor {
     #[must_use]
     pub fn run(&self, network: &Network) -> NetworkProfile {
         self.try_run(network)
+            // sma-lint: allow(no-panic) — documented panic; try_run is
+            // the fallible form and the message routes callers to it.
             .expect("backend rejected a layer; use try_run for fallible dispatch")
     }
 
@@ -264,6 +266,8 @@ impl Executor {
     #[must_use]
     pub fn plan(&self, network: &Network) -> NetworkPlan {
         self.try_plan(network)
+            // sma-lint: allow(no-panic) — documented panic; try_plan is
+            // the fallible form and the message routes callers to it.
             .expect("backend rejected a layer; use try_plan for fallible compilation")
     }
 
@@ -332,6 +336,9 @@ impl Executor {
                 // capacity is exploited by the *autonomous*
                 // scheduler, which raises the boost itself.
                 let work = IrregularWork::from_layer(layer)
+                    // sma-lint: allow(no-panic) — from_layer is Some
+                    // exactly when the work is irregular, which this
+                    // match arm just established.
                     .expect("irregular LayerWork implies irregular layer");
                 let est = self.backend.irregular(work);
                 PlannedStep::Layer {
@@ -350,6 +357,10 @@ impl Executor {
 
 #[cfg(test)]
 mod tests {
+    // Exact float equality in these tests asserts bit-reproducibility
+    // of exactly-representable values; an epsilon would weaken them.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
     use sma_models::zoo;
 

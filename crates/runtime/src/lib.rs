@@ -29,6 +29,7 @@
 //!   frames the SMA units fold back into SIMD lanes and accelerate the
 //!   localisation work, while the spatially integrated TC sits idle.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod autonomous;

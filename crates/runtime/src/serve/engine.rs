@@ -37,7 +37,7 @@ use super::policy::{BatchPolicy, PolicyDecision};
 use super::{BatchRecord, ServeCluster, ServedRequest, ShardReport};
 use crate::backend::RuntimeError;
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
 /// When the [`Placement`] is consulted and what it may see.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -163,7 +163,7 @@ struct PlanCache {
     budget: Option<u64>,
     /// `(bytes, last_use)` per resident plan; `last_use` ticks are
     /// unique, so the LRU victim is always unambiguous.
-    entries: HashMap<(usize, usize), (u64, u64)>,
+    entries: BTreeMap<(usize, usize), (u64, u64)>,
     resident_bytes: u64,
     tick: u64,
     stats: PlanCacheStats,
@@ -173,7 +173,7 @@ impl PlanCache {
     fn new(budget: Option<u64>) -> Self {
         PlanCache {
             budget,
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             resident_bytes: 0,
             tick: 0,
             stats: PlanCacheStats::default(),
@@ -203,7 +203,11 @@ impl PlanCache {
                     .iter()
                     .min_by_key(|(_, &(_, last_use))| last_use)
                     .map(|(k, _)| k)
+                    // sma-lint: allow(no-panic) — the loop guard
+                    // just checked !entries.is_empty().
                     .expect("non-empty cache has an LRU victim");
+                // sma-lint: allow(no-panic) — victim was read out of
+                // this map two lines up; no intervening mutation.
                 let (evicted_bytes, _) = self.entries.remove(&victim).expect("victim resident");
                 self.resident_bytes -= evicted_bytes;
                 self.stats.evictions += 1;
@@ -279,7 +283,7 @@ struct ShardState {
     pending_timer: f64,
     /// Memoized `(network, batch) → service ms`; first touch compiles
     /// the plan through the executor.
-    service_ms: HashMap<(usize, usize), f64>,
+    service_ms: BTreeMap<(usize, usize), f64>,
     cache: PlanCache,
     /// Live queued-request count (all networks).
     depth: usize,
@@ -510,6 +514,8 @@ pub(super) fn run_engine(
                 }
             }
         } else {
+            // sma-lint: allow(no-panic) — this branch runs only after a
+            // successful heap.peek(); pop cannot return None.
             let event = heap.pop().expect("peeked event present");
             let shard = event.shard;
             let state = &mut shards[shard];
@@ -631,8 +637,8 @@ fn attempt_dispatch(
 
     if let Some((net, take, _)) = best {
         let service_ms = match state.service_ms.entry((net, take)) {
-            std::collections::hash_map::Entry::Occupied(hit) => *hit.get(),
-            std::collections::hash_map::Entry::Vacant(slot) => {
+            std::collections::btree_map::Entry::Occupied(hit) => *hit.get(),
+            std::collections::btree_map::Entry::Vacant(slot) => {
                 let plan = cluster
                     .shard_executor(shard)
                     .with_batch(take)
@@ -705,6 +711,10 @@ fn attempt_dispatch(
 
 #[cfg(test)]
 mod tests {
+    // Exact float equality in these tests asserts bit-reproducibility
+    // of exactly-representable values; an epsilon would weaken them.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
 
     #[test]

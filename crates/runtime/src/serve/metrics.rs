@@ -116,6 +116,8 @@ fn percentile_of_sorted(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
+    // sma-lint: allow(float-cast) — p is a percentile in [0, 100] and the
+    // result is clamped by the min() below; the cast cannot escape bounds.
     let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
     sorted[rank.min(sorted.len() - 1)]
 }
@@ -207,6 +209,10 @@ fn shard_misses(report: &ShardReport) -> u64 {
 
 #[cfg(test)]
 mod tests {
+    // Exact float equality in these tests asserts bit-reproducibility
+    // of exactly-representable values; an epsilon would weaken them.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
 
     #[test]

@@ -420,6 +420,8 @@ impl ServeSim {
     #[must_use]
     pub fn run(&self, placement: &mut dyn Placement) -> ServeRun {
         self.try_run(placement)
+            // sma-lint: allow(no-panic) — documented panic; try_run is
+            // the fallible form and the message routes callers to it.
             .expect("backend rejected a batched plan; use try_run")
     }
 

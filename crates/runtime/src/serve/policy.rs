@@ -155,6 +155,10 @@ impl BatchPolicy for Deadline {
 
 #[cfg(test)]
 mod tests {
+    // Exact float equality in these tests asserts bit-reproducibility
+    // of exactly-representable values; an epsilon would weaken them.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
 
     fn queue(arrivals: &[f64]) -> Vec<Request> {

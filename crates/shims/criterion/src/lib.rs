@@ -13,6 +13,7 @@
 //! smoke gate that executes each benchmark body without paying for
 //! statistics.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 use std::fmt::Display;

@@ -8,6 +8,7 @@
 //! derives expand to nothing. Replacing this shim with the real crate
 //! is a one-line manifest change and no source change.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub use serde_derive::{Deserialize, Serialize};

@@ -7,6 +7,7 @@
 //! (when a registry is reachable) changes no source line outside the
 //! manifests.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 use proc_macro::TokenStream;

@@ -40,6 +40,9 @@ impl QuantParams {
     #[must_use]
     pub fn fit_matrix(m: &Matrix<f32>) -> Self {
         let max_abs = m.as_slice().iter().fold(0.0f32, |acc, &v| acc.max(v.abs()));
+        // sma-lint: allow(float-eq) — exact-zero guard: a fold of
+        // abs() over any nonempty input is >= 0.0 and only an all-zero
+        // matrix produces exactly 0.0.
         if max_abs == 0.0 {
             QuantParams { scale: 1.0 }
         } else {
@@ -127,6 +130,10 @@ pub fn rmse(a: &Matrix<f32>, b: &Matrix<f32>) -> f64 {
 
 #[cfg(test)]
 mod tests {
+    // Exact float equality in these tests asserts bit-reproducibility
+    // of exactly-representable values; an epsilon would weaken them.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
 
     #[test]

@@ -222,7 +222,11 @@ fn engine_reproduces_the_three_phase_pipeline_bit_for_bit() {
                     assert_eq!(b_old.1, b_new.size, "{label} batch size");
                     assert_eq!(b_old.2, b_new.start_ms.to_bits(), "{label} batch start");
                     assert_eq!(b_old.3, b_new.service_ms.to_bits(), "{label} batch service");
-                    assert_eq!(b_new.compile_ms, 0.0, "{label} legacy compiles are free");
+                    assert_eq!(
+                        b_new.compile_ms.to_bits(),
+                        0.0f64.to_bits(),
+                        "{label} legacy compiles are free"
+                    );
                 }
                 assert_eq!(old.requests.len(), new.requests.len(), "{label} requests");
                 for (r_old, r_new) in old.requests.iter().zip(&new.requests) {
@@ -389,7 +393,7 @@ fn admission_controller_replaces_then_rejects() {
     let outcome = sim.outcome(&run);
     assert_eq!(outcome.requests, 0);
     assert_eq!(outcome.rejected, trace.len());
-    assert_eq!(outcome.goodput, 0.0);
+    assert_eq!(outcome.goodput.to_bits(), 0.0f64.to_bits());
 }
 
 /// SLO accounting under EDF: the trace's deadlines produce a nonzero
