@@ -17,6 +17,12 @@
 //! seed regardless of thread count or machine speed (the determinism
 //! suite and the CI double-run diff pin this).
 //!
+//! A fault block rides behind the two fault-free blocks: the same
+//! engine under seeded crash/degrade/stall/compile-fail schedules with
+//! retry, hedging, failover and class-striped shedding — equally
+//! deterministic (the chaos CI step double-runs with a nonzero fault
+//! rate and diffs).
+//!
 //! Environment:
 //! * `SMA_SERVE_REQUESTS` — trace length (default 10000).
 //! * `SMA_SERVE_SEED` — trace seed (default 0xDAC2_0020).
@@ -24,6 +30,12 @@
 //!   batch-1 service times).
 //! * `SMA_SERVE_CACHE_KB` — bounded-row plan-cache budget per shard in
 //!   KiB (default: 1.25x the largest compiled plan).
+//! * `SMA_SERVE_FAULT_SEED` — fault-schedule seed (default: derived
+//!   from the trace seed).
+//! * `SMA_SERVE_FAULT_RATE` — expected faults per shard in the fault
+//!   block (default 2.0; 0 empties the schedules).
+//! * `SMA_SERVE_HEDGE_MS` — hedge delay of the `retry+hedge` rows
+//!   (default: p99 of the batch-1 service cells).
 //! * `SMA_SERVE_JSON` — report path (default: `BENCH_serve.json`).
 //! * `SMA_SWEEP_THREADS` — worker threads across combos (default:
 //!   available parallelism).
@@ -37,6 +49,9 @@ fn main() {
     let options = ScenarioOptions {
         slo_ms: sma_bench::knobs::serve_slo_ms(),
         cache_budget_bytes: sma_bench::knobs::serve_cache_bytes(),
+        fault_seed: sma_bench::knobs::serve_fault_seed(),
+        fault_rate: sma_bench::knobs::serve_fault_rate(),
+        hedge_ms: sma_bench::knobs::serve_hedge_ms(),
     };
     let threads = sweep::default_threads();
 
@@ -56,7 +71,15 @@ fn main() {
         scenario.bounded_cache_bytes,
     );
 
-    let report = run_matrix(&scenario, threads);
+    // A backend rejecting a batched plan mid-run is a report-killing
+    // error, not a panic: exit nonzero with the cause on stderr.
+    let report = match run_matrix(&scenario, threads) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("serving matrix failed: {e}");
+            std::process::exit(1);
+        }
+    };
     for line in report.summary_lines() {
         println!("{line}");
     }

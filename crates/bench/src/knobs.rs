@@ -81,6 +81,32 @@ pub fn serve_cache_bytes() -> Option<u64> {
     opt::<u64>("SMA_SERVE_CACHE_KB").map(|kb| kb * 1024)
 }
 
+/// Fault-schedule seed for the fault block: `SMA_SERVE_FAULT_SEED`,
+/// default derived from the trace seed when unset. The fault stream is
+/// independent of the arrival stream, so changing this never perturbs
+/// the legacy or online blocks.
+#[must_use]
+pub fn serve_fault_seed() -> Option<u64> {
+    opt("SMA_SERVE_FAULT_SEED")
+}
+
+/// Expected faults per shard in the fault block's schedules:
+/// `SMA_SERVE_FAULT_RATE`, default 2.0, floored at 0 (0 = empty
+/// schedules — the fault rows then match a fault-free engine bit for
+/// bit).
+#[must_use]
+pub fn serve_fault_rate() -> Option<f64> {
+    opt::<f64>("SMA_SERVE_FAULT_RATE").map(|rate| rate.max(0.0))
+}
+
+/// Hedge delay of the `retry+hedge` rows in milliseconds:
+/// `SMA_SERVE_HEDGE_MS`, default derived (p99 of the cluster's batch-1
+/// service-time cells).
+#[must_use]
+pub fn serve_hedge_ms() -> Option<f64> {
+    opt("SMA_SERVE_HEDGE_MS")
+}
+
 #[cfg(test)]
 mod tests {
     #[test]

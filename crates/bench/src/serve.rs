@@ -2,7 +2,7 @@
 //! matrix over one seeded trace, combos fanned through the [`Sweep`]
 //! driver, results rendered into `BENCH_serve.json`.
 //!
-//! The matrix has two blocks:
+//! The matrix has three blocks:
 //!
 //! * **Legacy block** (preplaced admission, unbounded plan cache, free
 //!   compiles): the three pre-engine policies × placements, running
@@ -14,6 +14,12 @@
 //!   SLO policy, and both an unbounded and a capacity-bounded plan
 //!   cache (LRU eviction, compile-on-miss billed as simulated
 //!   latency).
+//! * **Fault block**: the same engine under a seeded [`FaultPlan`] —
+//!   {no-fault, crash-heavy, degrade-heavy} × {retry, retry+hedge} —
+//!   with the EDF policy, the health-weighted placement, class-striped
+//!   SLO shedding and the retry/hedge recovery policies. The fault
+//!   schedule draws from its own splitmix64 stream, so the first two
+//!   blocks stay value-identical whether or not this block exists.
 //!
 //! Everything in the report comes from the **simulated** clock — no
 //! wall-clock value is ever serialised — and each combo's engine run
@@ -25,9 +31,10 @@
 use crate::sweep::{escape_json, Sweep, SweepTask};
 use sma_models::zoo;
 use sma_runtime::serve::{
-    BatchPolicy, CacheBudget, Deadline, EarliestDeadlineFirst, EngineConfig, Immediate,
-    LeastBacklog, LeastOutstanding, LoadGenerator, Placement, PlatformAffinity, Request,
-    RoundRobin, ServeCluster, ServeOutcome, ServeSim, SizeK,
+    percentile_ms, BatchPolicy, CacheBudget, Deadline, EarliestDeadlineFirst, EngineConfig,
+    FaultMix, FaultPlan, HealthWeighted, HedgePolicy, Immediate, LeastBacklog, LeastOutstanding,
+    LoadGenerator, Placement, PlatformAffinity, Request, RetryPolicy, RoundRobin, ServeCluster,
+    ServeOutcome, ServeSim, ShedPolicy, SizeK,
 };
 use sma_runtime::{Executor, Platform, RuntimeError};
 use std::fmt::Write as _;
@@ -59,6 +66,19 @@ pub struct ServeScenario {
     /// Simulated compile cost billed per network layer on a plan-cache
     /// miss (online rows; the legacy block compiles for free).
     pub compile_ms_per_layer: f64,
+    /// Seed of the fault block's [`FaultPlan`] stream (independent of
+    /// the trace seed — the first two blocks never see it).
+    pub fault_seed: u64,
+    /// Expected faults per shard in the fault block's schedules.
+    pub fault_rate: f64,
+    /// Hedge delay of the `retry+hedge` rows, ms (p99 of the batch-1
+    /// service-time cells by default — hedges fire only for requests
+    /// already slower than almost every single-batch execution).
+    pub hedge_delay_ms: f64,
+    /// Shed watermark of the fault block: the lowest-priority class
+    /// sheds when cluster-wide backlog reaches this many requests
+    /// (higher classes at integer multiples of it).
+    pub shed_watermark: usize,
 }
 
 /// Overrides for the derived scenario parameters (`None` = derive from
@@ -69,6 +89,12 @@ pub struct ScenarioOptions {
     pub slo_ms: Option<f64>,
     /// Bounded-row plan-cache budget, bytes per shard.
     pub cache_budget_bytes: Option<u64>,
+    /// Fault-block schedule seed.
+    pub fault_seed: Option<u64>,
+    /// Expected faults per shard in the fault block.
+    pub fault_rate: Option<f64>,
+    /// Hedge delay of the `retry+hedge` rows, ms.
+    pub hedge_ms: Option<f64>,
 }
 
 /// Mean batch-1 service time over a cluster's shard × network cells,
@@ -144,10 +170,26 @@ pub fn scenario(
     let bounded_cache_bytes = options
         .cache_budget_bytes
         .unwrap_or(max_plan_bytes + max_plan_bytes / 4);
+    // Three SLO classes, striped by id — a pure function of the id, so
+    // the arrivals/networks/deadlines are bit-identical to a class-free
+    // trace and the first two blocks never notice.
     let trace = LoadGenerator::new(seed, mean_interarrival_ms)
         .with_slo(slo_ms)
+        .with_classes(3)
         .trace(requests, cluster.networks().len());
+    // Hedge when a request outlives p99 of the batch-1 cost cells:
+    // only the already-slow tail pays the duplicate.
+    let unit_cells: Vec<f64> = cluster
+        .unit_service_ms()
+        .iter()
+        .flatten()
+        .copied()
+        .collect();
+    let hedge_delay_ms = options
+        .hedge_ms
+        .unwrap_or_else(|| percentile_ms(&unit_cells, 99.0));
     Ok(ServeScenario {
+        shed_watermark: 2 * cluster.shard_count(),
         cluster,
         trace,
         seed,
@@ -156,6 +198,9 @@ pub fn scenario(
         slo_ms,
         bounded_cache_bytes,
         compile_ms_per_layer: 0.05,
+        fault_seed: options.fault_seed.unwrap_or(seed ^ 0xFAA7_5EED),
+        fault_rate: options.fault_rate.unwrap_or(2.0).max(0.0),
+        hedge_delay_ms,
     })
 }
 
@@ -214,6 +259,10 @@ pub struct ComboReport {
     pub admission: &'static str,
     /// Plan-cache budget label (`unbounded` / `NKiB`).
     pub cache_budget: String,
+    /// Fault-schedule label (`none` outside the fault block).
+    pub fault: &'static str,
+    /// Recovery-policy label (`none` outside the fault block).
+    pub recovery: &'static str,
     /// The aggregated serving metrics.
     pub outcome: ServeOutcome,
 }
@@ -301,8 +350,16 @@ impl ServeBenchReport {
                 "      \"cache_budget\": \"{}\",",
                 escape_json(&combo.cache_budget)
             );
+            let _ = writeln!(out, "      \"fault\": \"{}\",", combo.fault);
+            let _ = writeln!(out, "      \"recovery\": \"{}\",", combo.recovery);
             let _ = writeln!(out, "      \"requests\": {},", o.requests);
             let _ = writeln!(out, "      \"rejected\": {},", o.rejected);
+            let _ = writeln!(out, "      \"shed\": {},", o.shed);
+            let _ = writeln!(out, "      \"failed\": {},", o.failed);
+            let _ = writeln!(out, "      \"retries\": {},", o.retries);
+            let _ = writeln!(out, "      \"hedges\": {},", o.hedges);
+            let _ = writeln!(out, "      \"failovers\": {},", o.failovers);
+            let _ = writeln!(out, "      \"downtime_ms\": {:.6},", o.downtime_ms);
             let _ = writeln!(out, "      \"p50_ms\": {:.6},", o.p50_ms);
             let _ = writeln!(out, "      \"p99_ms\": {:.6},", o.p99_ms);
             let _ = writeln!(out, "      \"p999_ms\": {:.6},", o.p999_ms);
@@ -322,7 +379,7 @@ impl ServeBenchReport {
                 let comma = if j + 1 == o.shards.len() { "" } else { "," };
                 let _ = writeln!(
                     out,
-                    "        {{\"shard\": {}, \"platform\": \"{}\", \"requests\": {}, \"batches\": {}, \"busy_ms\": {:.6}, \"utilization\": {:.6}, \"deadline_misses\": {}, \"queue_depth_mean\": {:.6}, \"queue_depth_max\": {}, \"cache_evictions\": {}}}{comma}",
+                    "        {{\"shard\": {}, \"platform\": \"{}\", \"requests\": {}, \"batches\": {}, \"busy_ms\": {:.6}, \"utilization\": {:.6}, \"deadline_misses\": {}, \"queue_depth_mean\": {:.6}, \"queue_depth_max\": {}, \"cache_evictions\": {}, \"crashes\": {}, \"downtime_ms\": {:.6}, \"retries\": {}, \"hedges\": {}, \"failovers\": {}}}{comma}",
                     shard.shard,
                     escape_json(shard.platform),
                     shard.requests,
@@ -333,6 +390,27 @@ impl ServeBenchReport {
                     shard.queue_depth_mean,
                     shard.queue_depth_max,
                     shard.cache.evictions,
+                    shard.fault.crashes,
+                    shard.fault.downtime_ms,
+                    shard.fault.retries,
+                    shard.fault.hedges,
+                    shard.fault.failovers,
+                );
+            }
+            out.push_str("      ],\n      \"classes\": [\n");
+            for (j, class) in o.classes.iter().enumerate() {
+                let comma = if j + 1 == o.classes.len() { "" } else { "," };
+                let _ = writeln!(
+                    out,
+                    "        {{\"class\": {}, \"served\": {}, \"shed\": {}, \"failed\": {}, \"deadline_misses\": {}, \"retries\": {}, \"hedges\": {}, \"failovers\": {}}}{comma}",
+                    class.class,
+                    class.served,
+                    class.shed,
+                    class.failed,
+                    class.deadline_misses,
+                    class.retries,
+                    class.hedges,
+                    class.failovers,
                 );
             }
             out.push_str("      ],\n      \"batch_histogram\": {");
@@ -370,8 +448,16 @@ impl ServeBenchReport {
                 } else {
                     o.shards.iter().map(|s| s.utilization).sum::<f64>() / o.shards.len() as f64
                 };
+                let fault_suffix = if combo.fault == "none" && combo.recovery == "none" {
+                    String::new()
+                } else {
+                    format!(
+                        " | fault {} ({}): {} retries / {} hedges / {} shed / {} failed",
+                        combo.fault, combo.recovery, o.retries, o.hedges, o.shed, o.failed,
+                    )
+                };
                 format!(
-                    "{:<20} x {:<17} [{:<9} cache {:<9}] p50 {:>9.2} ms | p99 {:>10.2} ms | util {:>5.1}% | goodput {:>5.1}% | {} evictions",
+                    "{:<20} x {:<17} [{:<9} cache {:<9}] p50 {:>9.2} ms | p99 {:>10.2} ms | util {:>5.1}% | goodput {:>5.1}% | {} evictions{fault_suffix}",
                     combo.policy,
                     combo.placement,
                     combo.admission,
@@ -394,22 +480,32 @@ struct ComboSpec {
     placement: PlacementFactory,
     admission: &'static str,
     cache_budget: String,
+    fault: &'static str,
+    recovery: &'static str,
     config: EngineConfig,
 }
 
 /// Runs the full benchmark matrix over one scenario — the legacy block
-/// under [`EngineConfig::legacy`], then the online block under an
-/// unbounded and a bounded plan cache — fanning the combos across
+/// under [`EngineConfig::legacy`], the online block under an unbounded
+/// and a bounded plan cache, then the fault block ({no-fault,
+/// crash-heavy, degrade-heavy} × {retry, retry+hedge} under the EDF
+/// policy and health-weighted placement) — fanning the combos across
 /// `threads` sweep workers. Each combo's engine run is
 /// single-threaded, so the thread count affects wall-clock only, never
 /// a value.
 ///
+/// # Errors
+///
+/// Propagates the first [`RuntimeError`] from a backend rejecting a
+/// batched plan compile mid-run.
+///
 /// # Panics
 ///
-/// Panics if the sweep driver loses a combo slot (a driver bug) or a
-/// backend rejects a batched plan compile.
-#[must_use]
-pub fn run_matrix(scenario: &ServeScenario, threads: usize) -> ServeBenchReport {
+/// Panics if the sweep driver loses a combo slot (a driver bug).
+pub fn run_matrix(
+    scenario: &ServeScenario,
+    threads: usize,
+) -> Result<ServeBenchReport, RuntimeError> {
     let max_wait_ms = scenario.mean_unit_service_ms;
     let mut specs: Vec<ComboSpec> = Vec::new();
     // Legacy block: pinned value-identical to the pre-engine pipeline.
@@ -420,6 +516,8 @@ pub fn run_matrix(scenario: &ServeScenario, threads: usize) -> ServeBenchReport 
                 placement,
                 admission: "preplaced",
                 cache_budget: CacheBudget::Unbounded.label(),
+                fault: "none",
+                recovery: "none",
                 config: EngineConfig::legacy(),
             });
         }
@@ -440,13 +538,85 @@ pub fn run_matrix(scenario: &ServeScenario, threads: usize) -> ServeBenchReport 
                     placement,
                     admission: "online",
                     cache_budget: budget.label(),
+                    fault: "none",
+                    recovery: "none",
                     config: config.clone(),
                 });
             }
         }
     }
+    // Fault block: EDF × health-weighted under injected faults, with
+    // class-striped shedding and the retry/hedge recovery policies.
+    // The schedules draw from their own seeded stream, so the blocks
+    // above are value-identical with or without these rows.
+    let horizon_ms = scenario.trace.last().map_or(0.0, |r| r.arrival_ms);
+    let shard_count = scenario.cluster.shard_count();
+    let retry = RetryPolicy {
+        max_attempts: 4,
+        backoff_base_ms: scenario.mean_unit_service_ms,
+        timeout_ms: 8.0 * scenario.slo_ms,
+    };
+    let fault_plans: [(&'static str, FaultPlan); 3] = [
+        ("none", FaultPlan::none()),
+        (
+            "crash-heavy",
+            FaultPlan::generate(
+                scenario.fault_seed,
+                scenario.fault_rate,
+                shard_count,
+                horizon_ms,
+                &FaultMix::crash_heavy(),
+            ),
+        ),
+        (
+            "degrade-heavy",
+            FaultPlan::generate(
+                scenario.fault_seed,
+                scenario.fault_rate,
+                shard_count,
+                horizon_ms,
+                &FaultMix::degrade_heavy(),
+            ),
+        ),
+    ];
+    let edf: Arc<dyn BatchPolicy> = Arc::new(EarliestDeadlineFirst::new(
+        scenario.mean_unit_service_ms,
+        16,
+    ));
+    for (fault_label, plan) in fault_plans {
+        for (recovery_label, hedge) in [
+            ("retry", None),
+            (
+                "retry+hedge",
+                Some(HedgePolicy {
+                    delay_ms: scenario.hedge_delay_ms,
+                }),
+            ),
+        ] {
+            let mut config = EngineConfig::default()
+                .with_compile_cost(scenario.compile_ms_per_layer)
+                .with_faults(plan.clone())
+                .with_retry(retry)
+                .with_shed(ShedPolicy {
+                    backlog_watermark: scenario.shed_watermark,
+                });
+            if let Some(hedge) = hedge {
+                config = config.with_hedge(hedge);
+            }
+            specs.push(ComboSpec {
+                policy: Arc::clone(&edf),
+                placement: || Box::new(HealthWeighted),
+                admission: "online",
+                cache_budget: CacheBudget::Unbounded.label(),
+                fault: fault_label,
+                recovery: recovery_label,
+                config,
+            });
+        }
+    }
 
-    let slots: Arc<Mutex<Vec<Option<ComboReport>>>> = Arc::new(Mutex::new(vec![None; specs.len()]));
+    type Slot = Option<Result<ComboReport, RuntimeError>>;
+    let slots: Arc<Mutex<Vec<Slot>>> = Arc::new(Mutex::new(vec![None; specs.len()]));
     // One shared copy of the trace across all combo closures (each
     // ServeSim still snapshots it, but transiently inside its task —
     // never N copies held live at once).
@@ -457,11 +627,13 @@ pub fn run_matrix(scenario: &ServeScenario, threads: usize) -> ServeBenchReport 
         let trace = Arc::clone(&shared_trace);
         let slots = Arc::clone(&slots);
         let name = format!(
-            "serve/{}x{}@{}-{}",
+            "serve/{}x{}@{}-{}-{}-{}",
             spec.policy.label(),
             (spec.placement)().label(),
             spec.admission,
-            spec.cache_budget
+            spec.cache_budget,
+            spec.fault,
+            spec.recovery,
         );
         sweep.push(SweepTask::new(name, move || {
             let sim = ServeSim::with_cluster(
@@ -471,23 +643,37 @@ pub fn run_matrix(scenario: &ServeScenario, threads: usize) -> ServeBenchReport 
                 spec.config.clone(),
             );
             let mut placement = (spec.placement)();
-            let run = sim.run(placement.as_mut());
-            let outcome = sim.outcome(&run);
-            let line = format!(
-                "{} x {}: {} served / {} rejected / p99 {:.2} ms",
-                spec.policy.label(),
-                placement.label(),
-                outcome.requests,
-                outcome.rejected,
-                outcome.p99_ms
-            );
-            slots.lock().expect("serve slots poisoned")[index] = Some(ComboReport {
-                policy: spec.policy.label(),
-                placement: placement.label(),
-                admission: spec.admission,
-                cache_budget: spec.cache_budget.clone(),
-                outcome,
-            });
+            let result = match sim.try_run(placement.as_mut()) {
+                Ok(run) => {
+                    let outcome = sim.outcome(&run);
+                    Ok(ComboReport {
+                        policy: spec.policy.label(),
+                        placement: placement.label(),
+                        admission: spec.admission,
+                        cache_budget: spec.cache_budget.clone(),
+                        fault: spec.fault,
+                        recovery: spec.recovery,
+                        outcome,
+                    })
+                }
+                Err(error) => Err(error),
+            };
+            let line = match &result {
+                Ok(combo) => format!(
+                    "{} x {}: {} served / {} rejected / p99 {:.2} ms",
+                    combo.policy,
+                    combo.placement,
+                    combo.outcome.requests,
+                    combo.outcome.rejected,
+                    combo.outcome.p99_ms
+                ),
+                Err(error) => format!(
+                    "{} x {}: FAILED: {error}",
+                    spec.policy.label(),
+                    placement.label()
+                ),
+            };
+            slots.lock().expect("serve slots poisoned")[index] = Some(result);
             line
         }));
     }
@@ -500,10 +686,10 @@ pub fn run_matrix(scenario: &ServeScenario, threads: usize) -> ServeBenchReport 
         slots
             .iter_mut()
             .map(|slot| slot.take().expect("every combo slot is filled"))
-            .collect()
+            .collect::<Result<Vec<ComboReport>, RuntimeError>>()?
     };
 
-    ServeBenchReport {
+    Ok(ServeBenchReport {
         requests: scenario.trace.len(),
         seed: scenario.seed,
         mean_interarrival_ms: scenario.mean_interarrival_ms,
@@ -518,7 +704,7 @@ pub fn run_matrix(scenario: &ServeScenario, threads: usize) -> ServeBenchReport 
             .map(|n| n.name().to_string())
             .collect(),
         combos,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -530,21 +716,28 @@ mod tests {
     }
 
     #[test]
-    fn matrix_covers_both_blocks_and_serves_everything() {
-        let report = run_matrix(&tiny_scenario(), 4);
-        // 9 legacy combos + 4 policies x 2 placements x 2 budgets.
-        assert_eq!(report.combos.len(), 25);
-        assert!(report
-            .combos
-            .iter()
-            .all(|c| c.outcome.requests + c.outcome.rejected == 150));
+    fn matrix_covers_all_blocks_and_reconciles_every_request() {
+        let report = run_matrix(&tiny_scenario(), 4).expect("matrix runs");
+        // 9 legacy + 4 policies x 2 placements x 2 budgets + 3 faults
+        // x 2 recovery policies.
+        assert_eq!(report.combos.len(), 31);
+        assert!(report.combos.iter().all(|c| {
+            let o = &c.outcome;
+            o.requests + o.rejected + o.shed + o.failed == 150
+        }));
         let legacy = report
             .combos
             .iter()
             .filter(|c| c.admission == "preplaced")
             .count();
         assert_eq!(legacy, 9);
-        let labels: std::collections::BTreeSet<(String, String, String, String)> = report
+        let fault_rows = report
+            .combos
+            .iter()
+            .filter(|c| c.recovery != "none")
+            .count();
+        assert_eq!(fault_rows, 6);
+        let labels: std::collections::BTreeSet<(String, String, String, String, String)> = report
             .combos
             .iter()
             .map(|c| {
@@ -553,10 +746,11 @@ mod tests {
                     c.placement.clone(),
                     c.admission.to_string(),
                     c.cache_budget.clone(),
+                    format!("{}-{}", c.fault, c.recovery),
                 )
             })
             .collect();
-        assert_eq!(labels.len(), 25, "every combo labelled distinctly");
+        assert_eq!(labels.len(), 31, "every combo labelled distinctly");
         // The legacy block compiles for free and never evicts.
         for combo in report.combos.iter().filter(|c| c.admission == "preplaced") {
             assert_eq!(combo.outcome.cache.evictions, 0);
@@ -572,14 +766,14 @@ mod tests {
     #[test]
     fn thread_fanout_never_changes_the_report() {
         let scenario = tiny_scenario();
-        let serial = run_matrix(&scenario, 1);
-        let parallel = run_matrix(&scenario, 4);
+        let serial = run_matrix(&scenario, 1).expect("serial matrix runs");
+        let parallel = run_matrix(&scenario, 4).expect("parallel matrix runs");
         assert_eq!(serial.to_json(), parallel.to_json());
     }
 
     #[test]
     fn json_is_balanced_and_carries_the_matrix() {
-        let report = run_matrix(&tiny_scenario(), 2);
+        let report = run_matrix(&tiny_scenario(), 2).expect("matrix runs");
         let json = report.to_json();
         for key in [
             "\"config\"",
@@ -588,6 +782,8 @@ mod tests {
             "\"placement\"",
             "\"admission\"",
             "\"cache_budget\"",
+            "\"fault\"",
+            "\"recovery\"",
             "\"p50_ms\"",
             "\"p99_ms\"",
             "\"p999_ms\"",
@@ -597,10 +793,47 @@ mod tests {
             "\"queue_depth_mean\"",
             "\"utilization\"",
             "\"batch_histogram\"",
+            "\"shed\"",
+            "\"retries\"",
+            "\"hedges\"",
+            "\"failovers\"",
+            "\"downtime_ms\"",
+            "\"classes\"",
         ] {
             assert!(json.contains(key), "missing {key}");
         }
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn fault_rows_surface_recovery_activity() {
+        let report = run_matrix(&tiny_scenario(), 4).expect("matrix runs");
+        let crash_rows: Vec<_> = report
+            .combos
+            .iter()
+            .filter(|c| c.fault == "crash-heavy")
+            .collect();
+        assert_eq!(crash_rows.len(), 2);
+        for combo in &crash_rows {
+            assert!(
+                combo.outcome.downtime_ms > 0.0,
+                "crash-heavy rows record downtime"
+            );
+        }
+        let hedged = report
+            .combos
+            .iter()
+            .find(|c| c.fault == "crash-heavy" && c.recovery == "retry+hedge")
+            .expect("crash-heavy retry+hedge row exists");
+        assert!(hedged.outcome.hedges > 0, "hedging fires under crashes");
+        // The no-fault fault-block rows stay fault-free.
+        let clean = report
+            .combos
+            .iter()
+            .find(|c| c.fault == "none" && c.recovery == "retry")
+            .expect("no-fault retry row exists");
+        assert_eq!(clean.outcome.retries, 0);
+        assert_eq!(clean.outcome.downtime_ms.to_bits(), 0u64);
     }
 }

@@ -6,3 +6,15 @@ pub fn next(state: &mut u64) -> u64 {
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
 }
+
+/// A fault schedule as a pure function of (seed, shard): the
+/// sanctioned construction — independent per-shard splitmix64 streams
+/// derived by multiplicative hashing, no ambient entropy anywhere.
+pub fn seeded_fault_schedule(seed: u64, shards: usize) -> Vec<(usize, u64)> {
+    (0..shards)
+        .map(|shard| {
+            let mut state = seed ^ (shard as u64).wrapping_mul(0xA24B_AED4_963E_E407);
+            (shard, next(&mut state))
+        })
+        .collect()
+}

@@ -8,3 +8,15 @@ pub fn seed() -> u64 {
 fn thread_rng() -> u64 {
     0
 }
+
+/// A fault schedule drawn from ambient entropy — the exact failure
+/// mode the rule exists to catch: two runs of the serving engine would
+/// inject different crash/degrade events and the chaos double-run
+/// diff could never pass.
+pub fn entropy_fault_schedule(shards: usize) -> Vec<(usize, u64)> {
+    (0..shards).map(|shard| (shard, from_entropy())).collect()
+}
+
+fn from_entropy() -> u64 {
+    0
+}

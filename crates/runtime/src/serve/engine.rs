@@ -3,20 +3,24 @@
 //! One deterministic event queue drives the whole cluster: **arrival**
 //! events admit requests (invoking the [`Placement`] online, with a
 //! live [`ClusterView`]), **batch-close** events fire at the instant a
-//! [`BatchPolicy`] named in a [`PolicyDecision::WaitUntil`], and
-//! **service-complete** events free a shard and let it dispatch again.
-//! Events are totally ordered by `(time, class, sequence)` — time via
-//! `f64::total_cmp`, arrivals before completions before timers at
-//! equal instants, and a monotone sequence number last — so a run is a
-//! pure function of its inputs: byte-identical across repeats,
-//! machines and worker-thread counts.
+//! [`BatchPolicy`] named in a [`PolicyDecision::WaitUntil`],
+//! **service-complete** events free a shard and let it dispatch again,
+//! and **fault** events from the configured [`FaultPlan`] crash,
+//! degrade or stall shards (recovery — retries, hedges — rides the
+//! same queue). Events are totally ordered by `(time, class,
+//! sequence)` — time via `f64::total_cmp`, then arrivals before
+//! completions before timers before fault/retry/hedge events at equal
+//! instants, and a monotone sequence number last — so a run is a pure
+//! function of its inputs: byte-identical across repeats, machines and
+//! worker-thread counts, with or without faults.
 //!
 //! Two admission modes bound the refactor:
 //!
 //! * [`Admission::Online`] (default): placement sees the live cluster
-//!   (backlog, in-flight batches, plan-cache residency) at each
-//!   arrival, and the admission controller re-places or rejects
-//!   requests whose plan cannot fit the target shard's cache budget.
+//!   (backlog, in-flight batches, plan-cache residency, shard health)
+//!   at each arrival, and the admission controller re-places or
+//!   rejects requests whose plan cannot fit the target shard's cache
+//!   budget.
 //! * [`Admission::Preplaced`] is the legacy-parity shim: placement
 //!   runs over the whole trace up front against a zeroed view, exactly
 //!   like the pre-engine sequential admission pass. Under an unbounded
@@ -29,7 +33,15 @@
 //! [`NetworkPlan::mem_bytes`](crate::NetworkPlan::mem_bytes); a miss
 //! bills `compile_ms_per_layer × layers` of simulated latency before
 //! the batch starts executing.
+//!
+//! The fault model, injected-event ordering and recovery semantics are
+//! specified in `docs/FAULT_TOLERANCE.md`; an empty [`FaultPlan`] (the
+//! default) leaves every byte of the fault-free engine's output
+//! untouched, pinned by `tests/serve_fault.rs`.
 
+use super::fault::{
+    ClassFaultStats, FaultKind, FaultPlan, HedgePolicy, RetryPolicy, ShardFaultStats, ShedPolicy,
+};
 use super::load::Request;
 use super::metrics::PlanCacheStats;
 use super::placement::{ClusterView, Placement};
@@ -37,7 +49,7 @@ use super::policy::{BatchPolicy, PolicyDecision};
 use super::{BatchRecord, ServeCluster, ServedRequest, ShardReport};
 use crate::backend::RuntimeError;
 use std::cmp::Ordering;
-use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
 
 /// When the [`Placement`] is consulted and what it may see.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,7 +61,8 @@ pub enum Admission {
     Online,
     /// Legacy-parity shim: placement runs over the whole trace before
     /// the clock starts, against a view whose live fields are zero —
-    /// the pre-engine sequential admission pass. No admission control.
+    /// the pre-engine sequential admission pass. No admission control,
+    /// no shedding, no hedging; retries return to the failed shard.
     Preplaced,
 }
 
@@ -94,7 +107,11 @@ impl CacheBudget {
     }
 }
 
-/// Engine knobs: admission mode, plan-cache capacity, compile cost.
+/// Engine knobs: admission mode, plan-cache capacity, compile cost,
+/// and the fault-tolerance layer (fault schedule, retry/hedge/shed
+/// policies — all default to no-ops, so `EngineConfig::default()` and
+/// [`EngineConfig::legacy`] behave byte-identically to the fault-free
+/// engine).
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
     /// When placement decides and what it sees.
@@ -104,6 +121,16 @@ pub struct EngineConfig {
     /// Simulated milliseconds billed per network layer when a batch's
     /// plan misses the shard's plan cache (compile-on-miss latency).
     pub compile_ms_per_layer: f64,
+    /// Pre-drawn fault schedule (empty = no faults).
+    pub faults: FaultPlan,
+    /// Retry policy for requests whose batch a crash aborts.
+    pub retry: RetryPolicy,
+    /// Opt-in request hedging (`None` = never hedge). Online admission
+    /// only.
+    pub hedge: Option<HedgePolicy>,
+    /// Opt-in admission shedding by SLO class (`None` = never shed).
+    /// Online admission only.
+    pub shed: Option<ShedPolicy>,
 }
 
 impl Default for EngineConfig {
@@ -112,20 +139,24 @@ impl Default for EngineConfig {
             admission: Admission::Online,
             cache_budget: CacheBudget::Unbounded,
             compile_ms_per_layer: 0.0,
+            faults: FaultPlan::none(),
+            retry: RetryPolicy::default(),
+            hedge: None,
+            shed: None,
         }
     }
 }
 
 impl EngineConfig {
     /// The legacy-parity shim: preplaced admission, unbounded cache,
-    /// free compiles. Under this configuration the event engine
-    /// reproduces the pre-engine three-phase pipeline bit for bit.
+    /// free compiles, no faults. Under this configuration the event
+    /// engine reproduces the pre-engine three-phase pipeline bit for
+    /// bit.
     #[must_use]
     pub fn legacy() -> Self {
         EngineConfig {
             admission: Admission::Preplaced,
-            cache_budget: CacheBudget::Unbounded,
-            compile_ms_per_layer: 0.0,
+            ..EngineConfig::default()
         }
     }
 
@@ -142,10 +173,41 @@ impl EngineConfig {
         self.compile_ms_per_layer = ms_per_layer.max(0.0);
         self
     }
+
+    /// This configuration with a fault schedule.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// This configuration with a different retry policy.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// This configuration with request hedging enabled.
+    #[must_use]
+    pub fn with_hedge(mut self, hedge: HedgePolicy) -> Self {
+        self.hedge = Some(hedge);
+        self
+    }
+
+    /// This configuration with admission shedding enabled.
+    #[must_use]
+    pub fn with_shed(mut self, shed: ShedPolicy) -> Self {
+        self.shed = Some(shed);
+        self
+    }
 }
 
 /// Everything one engine run produced: per-shard reports (shard
-/// order) and the requests the admission controller turned away.
+/// order), plus every request that was *not* served and why. The four
+/// buckets — served (in the reports), `rejected`, `shed`, `failed` —
+/// partition the trace exactly: no request is lost or double-counted
+/// (pinned by the reconciliation proptest in `tests/serve_fault.rs`).
 #[derive(Debug, Clone)]
 pub struct ServeRun {
     /// One report per shard, in shard order.
@@ -154,6 +216,14 @@ pub struct ServeRun {
     /// ever hold their plan), in arrival order. Empty under
     /// [`Admission::Preplaced`] or an unbounded budget.
     pub rejected: Vec<Request>,
+    /// Requests shed by the [`ShedPolicy`] watermark, in arrival
+    /// order. Empty without a shed policy.
+    pub shed: Vec<Request>,
+    /// Requests abandoned after exhausting their [`RetryPolicy`], in
+    /// failure order. Empty without faults.
+    pub failed: Vec<Request>,
+    /// Per-SLO-class recovery counters, indexed by class.
+    pub class_stats: Vec<ClassFaultStats>,
 }
 
 /// Capacity-bounded LRU over simulated plan residency, keyed on
@@ -178,6 +248,12 @@ impl PlanCache {
             tick: 0,
             stats: PlanCacheStats::default(),
         }
+    }
+
+    /// Whether a plan is resident right now (no stats side effects —
+    /// the transient-compile-fail gate peeks without billing).
+    fn contains(&self, key: &(usize, usize)) -> bool {
+        self.entries.contains_key(key)
     }
 
     /// Looks up (and on miss admits) a plan, returning the simulated
@@ -228,10 +304,47 @@ impl PlanCache {
 /// Event classes, in same-instant processing order: arrivals (class 0,
 /// merged straight from the sorted trace rather than the heap) enqueue
 /// before a completion evaluates (the pre-engine drain admitted
-/// `arrival_ms <= now` before deciding), and completions free the
-/// shard before a stale timer re-evaluates.
+/// `arrival_ms <= now` before deciding), completions free the shard
+/// before a stale timer re-evaluates, and the fault family fires last:
+/// a batch completing at the exact instant of a crash completes,
+/// recovery lands before a same-instant retry re-places, and hedges go
+/// last of all.
 const CLASS_COMPLETE: u8 = 1;
 const CLASS_TIMER: u8 = 2;
+const CLASS_FAULT: u8 = 3;
+const CLASS_RETRY: u8 = 4;
+const CLASS_HEDGE: u8 = 5;
+
+/// What a popped event does. The payload is deliberately not part of
+/// the ordering — `(time, class, seq)` stays the total order.
+#[derive(Debug, Clone, Copy)]
+enum EventKind {
+    /// The in-flight batch of epoch `epoch` finishes (stale epochs —
+    /// batches a crash aborted — are ignored).
+    Complete { epoch: u64 },
+    /// A batch-close timer from a [`PolicyDecision::WaitUntil`].
+    Timer,
+    /// [`FaultKind::Crash`] fires.
+    Crash { recover_ms: f64 },
+    /// The shard comes back up (stale if a later crash extended the
+    /// outage).
+    Recover,
+    /// [`FaultKind::Degrade`] window opens.
+    DegradeStart { factor: f64, window_ms: f64 },
+    /// A degrade window closes.
+    DegradeEnd,
+    /// [`FaultKind::StallCompile`] window opens.
+    StallStart { extra_ms: f64, window_ms: f64 },
+    /// A compile-stall window closes.
+    StallEnd,
+    /// [`FaultKind::TransientCompileFail`] window opens (closes by
+    /// timestamp comparison; blocked shards schedule their own wake).
+    CompileFailStart { window_ms: f64 },
+    /// A crash victim re-enters admission after its backoff.
+    Retry { request: Request, from_shard: usize },
+    /// The hedge delay of an admitted request expired.
+    Hedge { request: Request, origin: usize },
+}
 
 /// One queued engine event. Ordering is ascending `(time, class,
 /// seq)`; `seq` is a global push counter, so ties are broken by
@@ -242,6 +355,7 @@ struct Event {
     class: u8,
     seq: u64,
     shard: usize,
+    kind: EventKind,
 }
 
 impl PartialEq for Event {
@@ -267,6 +381,20 @@ impl Ord for Event {
     }
 }
 
+/// The batch currently executing on a shard. Recording happens at
+/// completion (not dispatch), so a crash can abort the batch without
+/// leaving phantom records behind.
+struct InFlightBatch {
+    network: usize,
+    start_ms: f64,
+    compile_ms: f64,
+    service_ms: f64,
+    /// Dispatch epoch: a crash bumps past it, invalidating the
+    /// completion event already in the queue.
+    epoch: u64,
+    requests: Vec<Request>,
+}
+
 /// Live state of one shard inside the event loop.
 struct ShardState {
     /// Per-network FIFO queues of admitted-but-undispatched requests.
@@ -274,10 +402,26 @@ struct ShardState {
     /// Preplaced mode: arrivals still to come for this shard, per
     /// network (the oracle the legacy drain exposed to policies).
     future_per_net: Vec<usize>,
-    /// Completion instant of the in-flight batch (`None` = idle).
-    busy_until: Option<f64>,
-    /// Size of the in-flight batch (0 when idle).
-    in_flight: usize,
+    /// The executing batch (`None` = idle).
+    in_flight: Option<InFlightBatch>,
+    /// Monotone dispatch counter backing [`InFlightBatch::epoch`].
+    epoch: u64,
+    /// Crash state: the instant the shard comes back up (`None` = up).
+    down_until: Option<f64>,
+    /// When the current outage began (meaningful only while down).
+    down_since: f64,
+    /// Nesting depth of active degrade windows.
+    degrade_depth: u32,
+    /// Live service-time multiplier (1.0 when no window is active;
+    /// with overlapping windows the most recent factor wins).
+    degrade_factor: f64,
+    /// Nesting depth of active compile-stall windows.
+    stall_depth: u32,
+    /// Extra compile-on-miss latency while stalled (0 when clear).
+    stall_extra_ms: f64,
+    /// Transient compile failures are active while `now` is before
+    /// this instant.
+    compile_fail_until: f64,
     /// Earliest batch-close timer currently scheduled (dedup only —
     /// stale timers are harmless, they just re-evaluate).
     pending_timer: f64,
@@ -302,9 +446,50 @@ impl ShardState {
         self.depth = depth;
         self.depth_max = self.depth_max.max(depth);
     }
+
+    /// Size of the in-flight batch (0 when idle).
+    fn in_flight_len(&self) -> usize {
+        self.in_flight.as_ref().map_or(0, |b| b.requests.len())
+    }
 }
 
-/// The engine proper. Consumes the placement's mutable state for one
+/// The engine proper: all mutable run state behind one struct so the
+/// event handlers stay readable. The placement is threaded through the
+/// handlers that consult it (it is the caller's mutable state).
+struct Engine<'a> {
+    cluster: &'a ServeCluster,
+    policy: &'a dyn BatchPolicy,
+    config: &'a EngineConfig,
+    shards: Vec<ShardState>,
+    heap: BinaryHeap<Event>,
+    seq: u64,
+    rejected: Vec<Request>,
+    shed: Vec<Request>,
+    failed: Vec<Request>,
+    class_stats: Vec<ClassFaultStats>,
+    /// Ids already served (first completion wins). Maintained only
+    /// when faults or hedging are configured — the fault-free path
+    /// never consults it.
+    served: BTreeSet<u64>,
+    /// Ids already in `failed` (dedup — hedge twins can fail twice).
+    failed_ids: BTreeSet<u64>,
+    /// Retries scheduled so far, per request id.
+    attempts: BTreeMap<u64, u32>,
+    /// Online mode: arrivals still to come, per network.
+    global_future: Vec<usize>,
+    /// Preplaced mode: the up-front assignment, per trace index.
+    preassigned: Option<Vec<usize>>,
+    /// Number of SLO classes in the trace (max class + 1).
+    num_classes: usize,
+    // Scratch buffers for the live view (rebuilt per consultation).
+    live_queued: Vec<usize>,
+    live_in_flight: Vec<usize>,
+    live_resident: Vec<u64>,
+    live_healthy: Vec<bool>,
+    live_degrade: Vec<f64>,
+}
+
+/// Runs the engine. Consumes the placement's mutable state for one
 /// run; everything else is borrowed immutably, so distinct runs (and
 /// distinct combos in the benchmark matrix) share one compiled
 /// [`ServeCluster`].
@@ -316,7 +501,6 @@ pub(super) fn run_engine(
     config: &EngineConfig,
 ) -> Result<ServeRun, RuntimeError> {
     let shard_count = cluster.shard_count();
-    let net_count = cluster.networks().len();
     if let CacheBudget::PerShard(budgets) = &config.cache_budget {
         assert_eq!(
             budgets.len(),
@@ -324,95 +508,15 @@ pub(super) fn run_engine(
             "per-shard cache budget needs one entry per shard"
         );
     }
+    let mut engine = Engine::new(cluster, policy, config, trace);
+    engine.preassign(placement, trace);
+    engine.schedule_faults();
 
-    let mut shards: Vec<ShardState> = (0..shard_count)
-        .map(|shard| ShardState {
-            queues: vec![VecDeque::new(); net_count],
-            future_per_net: vec![0; net_count],
-            busy_until: None,
-            in_flight: 0,
-            pending_timer: f64::INFINITY,
-            // Batch-1 service times come off the cluster's
-            // pre-compiled plans (bit-identical to a fresh compile).
-            service_ms: cluster.unit_service_ms()[shard]
-                .iter()
-                .enumerate()
-                .map(|(net, &ms)| ((net, 1), ms))
-                .collect(),
-            cache: PlanCache::new(config.cache_budget.for_shard(shard)),
-            depth: 0,
-            depth_max: 0,
-            depth_integral_ms: 0.0,
-            depth_last_ms: 0.0,
-            report: ShardReport {
-                shard,
-                platform: cluster.platforms()[shard],
-                requests: Vec::new(),
-                batches: Vec::new(),
-                busy_ms: 0.0,
-                makespan_ms: 0.0,
-                plans_compiled: Vec::new(),
-                cache: PlanCacheStats::default(),
-                queue_depth_mean: 0.0,
-                queue_depth_max: 0,
-            },
-        })
-        .collect();
-
-    // Legacy shim: run the placement over the whole trace up front,
-    // against a view whose live fields are all zero — exactly the
-    // pre-engine sequential admission pass.
-    let preassigned: Option<Vec<usize>> = match config.admission {
-        Admission::Online => None,
-        Admission::Preplaced => {
-            let zero_counts = vec![0usize; shard_count];
-            let zero_bytes = vec![0u64; shard_count];
-            let view = ClusterView {
-                platforms: cluster.platforms(),
-                unit_service_ms: cluster.unit_service_ms(),
-                queued: &zero_counts,
-                in_flight: &zero_counts,
-                resident_plan_bytes: &zero_bytes,
-            };
-            let assigned: Vec<usize> = trace
-                .iter()
-                .map(|request| {
-                    let shard = placement.assign(request, &view);
-                    assert!(
-                        shard < shard_count,
-                        "placement routed request {} to shard {shard} of {shard_count}",
-                        request.id
-                    );
-                    shard
-                })
-                .collect();
-            for (request, &shard) in trace.iter().zip(&assigned) {
-                shards[shard].future_per_net[request.network] += 1;
-            }
-            Some(assigned)
-        }
-    };
-
-    // Online mode exposes "can any more arrivals of this network reach
-    // a shard" as the global count of future arrivals.
-    let mut global_future = vec![0usize; net_count];
-    for request in trace {
-        global_future[request.network] += 1;
-    }
-
-    let mut heap: BinaryHeap<Event> = BinaryHeap::new();
-    let mut seq = 0u64;
     let mut cursor = 0usize;
-    let mut rejected: Vec<Request> = Vec::new();
-    // Scratch buffers for the live view (rebuilt per online arrival).
-    let mut live_queued = vec![0usize; shard_count];
-    let mut live_in_flight = vec![0usize; shard_count];
-    let mut live_resident = vec![0u64; shard_count];
-
     loop {
         // Merge the (already sorted) arrival trace with the event
         // heap; arrivals win ties (CLASS_ARRIVAL is the lowest class).
-        let take_arrival = match (trace.get(cursor), heap.peek()) {
+        let take_arrival = match (trace.get(cursor), engine.heap.peek()) {
             (Some(request), Some(event)) => {
                 request.arrival_ms.total_cmp(&event.time) != Ordering::Greater
             }
@@ -420,31 +524,273 @@ pub(super) fn run_engine(
             (None, Some(_)) => false,
             (None, None) => break,
         };
-
         if take_arrival {
             let request = trace[cursor];
-            let now_ms = request.arrival_ms;
-            global_future[request.network] -= 1;
-            let target = match &preassigned {
-                Some(assigned) => {
-                    let shard = assigned[cursor];
-                    shards[shard].future_per_net[request.network] -= 1;
+            let pre = engine.preassigned.as_ref().map(|a| a[cursor]);
+            cursor += 1;
+            engine.on_arrival(placement, request, pre)?;
+        } else if let Some(event) = engine.heap.pop() {
+            engine.on_event(placement, event)?;
+        } else {
+            break;
+        }
+    }
+    Ok(engine.finish())
+}
+
+impl<'a> Engine<'a> {
+    fn new(
+        cluster: &'a ServeCluster,
+        policy: &'a dyn BatchPolicy,
+        config: &'a EngineConfig,
+        trace: &[Request],
+    ) -> Self {
+        let shard_count = cluster.shard_count();
+        let net_count = cluster.networks().len();
+        let shards: Vec<ShardState> = (0..shard_count)
+            .map(|shard| ShardState {
+                queues: vec![VecDeque::new(); net_count],
+                future_per_net: vec![0; net_count],
+                in_flight: None,
+                epoch: 0,
+                down_until: None,
+                down_since: 0.0,
+                degrade_depth: 0,
+                degrade_factor: 1.0,
+                stall_depth: 0,
+                stall_extra_ms: 0.0,
+                compile_fail_until: f64::NEG_INFINITY,
+                pending_timer: f64::INFINITY,
+                // Batch-1 service times come off the cluster's
+                // pre-compiled plans (bit-identical to a fresh
+                // compile).
+                service_ms: cluster.unit_service_ms()[shard]
+                    .iter()
+                    .enumerate()
+                    .map(|(net, &ms)| ((net, 1), ms))
+                    .collect(),
+                cache: PlanCache::new(config.cache_budget.for_shard(shard)),
+                depth: 0,
+                depth_max: 0,
+                depth_integral_ms: 0.0,
+                depth_last_ms: 0.0,
+                report: ShardReport {
+                    shard,
+                    platform: cluster.platforms()[shard],
+                    requests: Vec::new(),
+                    batches: Vec::new(),
+                    busy_ms: 0.0,
+                    makespan_ms: 0.0,
+                    plans_compiled: Vec::new(),
+                    cache: PlanCacheStats::default(),
+                    queue_depth_mean: 0.0,
+                    queue_depth_max: 0,
+                    fault: ShardFaultStats::default(),
+                },
+            })
+            .collect();
+        let mut global_future = vec![0usize; net_count];
+        let mut max_class = 0usize;
+        for request in trace {
+            global_future[request.network] += 1;
+            max_class = max_class.max(usize::from(request.class));
+        }
+        let num_classes = max_class + 1;
+        Engine {
+            cluster,
+            policy,
+            config,
+            shards,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            rejected: Vec::new(),
+            shed: Vec::new(),
+            failed: Vec::new(),
+            class_stats: vec![ClassFaultStats::default(); num_classes],
+            served: BTreeSet::new(),
+            failed_ids: BTreeSet::new(),
+            attempts: BTreeMap::new(),
+            global_future,
+            preassigned: None,
+            num_classes,
+            live_queued: vec![0; shard_count],
+            live_in_flight: vec![0; shard_count],
+            live_resident: vec![0; shard_count],
+            live_healthy: vec![true; shard_count],
+            live_degrade: vec![1.0; shard_count],
+        }
+    }
+
+    /// Whether the served-id set must be maintained: only hedging and
+    /// crash-retry can attempt to serve one id twice.
+    fn track_ids(&self) -> bool {
+        self.config.hedge.is_some() || !self.config.faults.is_empty()
+    }
+
+    /// Legacy shim: run the placement over the whole trace up front,
+    /// against a view whose live fields are all zero — exactly the
+    /// pre-engine sequential admission pass.
+    fn preassign(&mut self, placement: &mut dyn Placement, trace: &[Request]) {
+        if self.config.admission != Admission::Preplaced {
+            return;
+        }
+        let shard_count = self.shards.len();
+        let zero_counts = vec![0usize; shard_count];
+        let zero_bytes = vec![0u64; shard_count];
+        let all_up = vec![true; shard_count];
+        let no_degrade = vec![1.0f64; shard_count];
+        let view = ClusterView {
+            platforms: self.cluster.platforms(),
+            unit_service_ms: self.cluster.unit_service_ms(),
+            queued: &zero_counts,
+            in_flight: &zero_counts,
+            resident_plan_bytes: &zero_bytes,
+            healthy: &all_up,
+            degrade: &no_degrade,
+        };
+        let assigned: Vec<usize> = trace
+            .iter()
+            .map(|request| {
+                let shard = placement.assign(request, &view);
+                assert!(
+                    shard < shard_count,
+                    "placement routed request {} to shard {shard} of {shard_count}",
+                    request.id
+                );
+                shard
+            })
+            .collect();
+        for (request, &shard) in trace.iter().zip(&assigned) {
+            self.shards[shard].future_per_net[request.network] += 1;
+        }
+        self.preassigned = Some(assigned);
+    }
+
+    /// Seeds the event queue with the configured fault schedule.
+    fn schedule_faults(&mut self) {
+        let shard_count = self.shards.len();
+        for fault in self.config.faults.events() {
+            assert!(
+                fault.shard < shard_count,
+                "fault plan targets shard {} of {shard_count}",
+                fault.shard
+            );
+            let kind = match fault.kind {
+                FaultKind::Crash { recover_ms } => EventKind::Crash { recover_ms },
+                FaultKind::Degrade { factor, window_ms } => {
+                    EventKind::DegradeStart { factor, window_ms }
+                }
+                FaultKind::StallCompile {
+                    extra_ms,
+                    window_ms,
+                } => EventKind::StallStart {
+                    extra_ms,
+                    window_ms,
+                },
+                FaultKind::TransientCompileFail { window_ms } => {
+                    EventKind::CompileFailStart { window_ms }
+                }
+            };
+            self.push_event(fault.at_ms, CLASS_FAULT, fault.shard, kind);
+        }
+    }
+
+    fn push_event(&mut self, time: f64, class: u8, shard: usize, kind: EventKind) {
+        self.heap.push(Event {
+            time,
+            class,
+            seq: self.seq,
+            shard,
+            kind,
+        });
+        self.seq += 1;
+    }
+
+    /// Whether a shard can dispatch right now.
+    fn idle_and_up(&self, shard: usize) -> bool {
+        let state = &self.shards[shard];
+        state.in_flight.is_none() && state.down_until.is_none()
+    }
+
+    /// Whether `shard`'s cache budget can ever hold `network`'s plan.
+    fn fits(&self, shard: usize, network: usize) -> bool {
+        self.config
+            .cache_budget
+            .admits(shard, self.cluster.unit_plan_bytes()[shard][network])
+    }
+
+    /// Cluster-wide outstanding requests (queued + in flight).
+    fn backlog(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.depth + s.in_flight_len())
+            .sum()
+    }
+
+    /// Rebuilds the live-view scratch buffers from shard state.
+    fn refresh_live(&mut self) {
+        for (shard, state) in self.shards.iter().enumerate() {
+            self.live_queued[shard] = state.depth;
+            self.live_in_flight[shard] = state.in_flight_len();
+            self.live_resident[shard] = state.cache.resident_bytes;
+            self.live_healthy[shard] = state.down_until.is_none();
+            self.live_degrade[shard] = if state.degrade_depth > 0 {
+                state.degrade_factor
+            } else {
+                1.0
+            };
+        }
+    }
+
+    /// The live view over the scratch buffers ([`Engine::refresh_live`]
+    /// first).
+    fn live_view(&self) -> ClusterView<'_> {
+        ClusterView {
+            platforms: self.cluster.platforms(),
+            unit_service_ms: self.cluster.unit_service_ms(),
+            queued: &self.live_queued,
+            in_flight: &self.live_in_flight,
+            resident_plan_bytes: &self.live_resident,
+            healthy: &self.live_healthy,
+            degrade: &self.live_degrade,
+        }
+    }
+
+    /// One arrival: shed check, placement/admission, enqueue, hedge
+    /// scheduling, dispatch, and the online tail flush.
+    fn on_arrival(
+        &mut self,
+        placement: &mut dyn Placement,
+        request: Request,
+        pre: Option<usize>,
+    ) -> Result<(), RuntimeError> {
+        let now_ms = request.arrival_ms;
+        let shard_count = self.shards.len();
+        self.global_future[request.network] -= 1;
+        let online = pre.is_none();
+
+        // Graceful degradation: under backlog pressure, shed by SLO
+        // class before placement even runs (online admission only —
+        // the legacy shim admits everything).
+        let shed_now = online
+            && self
+                .config
+                .shed
+                .as_ref()
+                .is_some_and(|p| p.sheds(request.class, self.num_classes, self.backlog()));
+
+        let mut target: Option<usize> = None;
+        if shed_now {
+            self.shed.push(request);
+        } else {
+            target = match pre {
+                Some(shard) => {
+                    self.shards[shard].future_per_net[request.network] -= 1;
                     Some(shard)
                 }
                 None => {
-                    for (shard, state) in shards.iter().enumerate() {
-                        live_queued[shard] = state.depth;
-                        live_in_flight[shard] = state.in_flight;
-                        live_resident[shard] = state.cache.resident_bytes;
-                    }
-                    let view = ClusterView {
-                        platforms: cluster.platforms(),
-                        unit_service_ms: cluster.unit_service_ms(),
-                        queued: &live_queued,
-                        in_flight: &live_in_flight,
-                        resident_plan_bytes: &live_resident,
-                    };
-                    let chosen = placement.assign(&request, &view);
+                    self.refresh_live();
+                    let chosen = placement.assign(&request, &self.live_view());
                     assert!(
                         chosen < shard_count,
                         "placement routed request {} to shard {chosen} of {shard_count}",
@@ -454,189 +800,463 @@ pub(super) fn run_engine(
                     // to ever hold the request's plan; otherwise
                     // re-place onto the first shard that can, else
                     // reject.
-                    let fits = |shard: usize| {
-                        config
-                            .cache_budget
-                            .admits(shard, cluster.unit_plan_bytes()[shard][request.network])
-                    };
-                    if fits(chosen) {
+                    if self.fits(chosen, request.network) {
                         Some(chosen)
                     } else {
-                        (0..shard_count).find(|&shard| fits(shard))
+                        (0..shard_count).find(|&shard| self.fits(shard, request.network))
                     }
                 }
             };
-            cursor += 1;
             match target {
                 Some(shard) => {
-                    let state = &mut shards[shard];
-                    state.note_depth(now_ms, state.depth + 1);
-                    state.queues[request.network].push_back(request);
-                    if state.busy_until.is_none() {
-                        attempt_dispatch(
-                            state,
-                            shard,
-                            now_ms,
-                            cluster,
-                            policy,
-                            config,
-                            preassigned.is_none().then_some(&global_future[..]),
-                            &mut heap,
-                            &mut seq,
-                        )?;
+                    {
+                        let state = &mut self.shards[shard];
+                        state.note_depth(now_ms, state.depth + 1);
+                        state.queues[request.network].push_back(request);
+                    }
+                    if online {
+                        if let Some(hedge) = self.config.hedge {
+                            self.push_event(
+                                now_ms + hedge.delay_ms,
+                                CLASS_HEDGE,
+                                shard,
+                                EventKind::Hedge {
+                                    request,
+                                    origin: shard,
+                                },
+                            );
+                        }
+                    }
+                    if self.idle_and_up(shard) {
+                        self.attempt_dispatch(shard, now_ms)?;
                     }
                 }
-                None => rejected.push(request),
+                None => self.rejected.push(request),
             }
-            // Online tail flush: the last arrival of a network is an
-            // event for *every* shard still holding that network —
-            // `more_arrivals` just flipped false cluster-wide, and
-            // without this re-evaluation a size-triggered policy would
-            // strand its stragglers.
-            if preassigned.is_none() && global_future[request.network] == 0 {
-                for (shard, state) in shards.iter_mut().enumerate() {
-                    if target == Some(shard) {
-                        continue; // already evaluated above
-                    }
-                    if state.busy_until.is_none() && !state.queues[request.network].is_empty() {
-                        attempt_dispatch(
-                            state,
-                            shard,
-                            now_ms,
-                            cluster,
-                            policy,
-                            config,
-                            Some(&global_future[..]),
-                            &mut heap,
-                            &mut seq,
-                        )?;
-                    }
+        }
+        // Online tail flush: the last arrival of a network is an
+        // event for *every* shard still holding that network —
+        // `more_arrivals` just flipped false cluster-wide, and
+        // without this re-evaluation a size-triggered policy would
+        // strand its stragglers.
+        if online && self.global_future[request.network] == 0 {
+            for shard in 0..shard_count {
+                if target == Some(shard) {
+                    continue; // already evaluated above
+                }
+                if self.idle_and_up(shard) && !self.shards[shard].queues[request.network].is_empty()
+                {
+                    self.attempt_dispatch(shard, now_ms)?;
                 }
             }
-        } else {
-            // sma-lint: allow(no-panic) — this branch runs only after a
-            // successful heap.peek(); pop cannot return None.
-            let event = heap.pop().expect("peeked event present");
-            let shard = event.shard;
-            let state = &mut shards[shard];
-            match event.class {
-                CLASS_COMPLETE => {
-                    debug_assert_eq!(
-                        state.busy_until.map(f64::to_bits),
-                        Some(event.time.to_bits())
-                    );
-                    state.busy_until = None;
-                    state.in_flight = 0;
-                    attempt_dispatch(
-                        state,
-                        shard,
-                        event.time,
-                        cluster,
-                        policy,
-                        config,
-                        preassigned.is_none().then_some(&global_future[..]),
-                        &mut heap,
-                        &mut seq,
-                    )?;
+        }
+        Ok(())
+    }
+
+    /// Routes one popped event to its handler.
+    fn on_event(
+        &mut self,
+        placement: &mut dyn Placement,
+        event: Event,
+    ) -> Result<(), RuntimeError> {
+        let Event {
+            time: now_ms,
+            shard,
+            kind,
+            ..
+        } = event;
+        match kind {
+            EventKind::Complete { epoch } => self.on_complete(shard, now_ms, epoch),
+            EventKind::Timer => {
+                let state = &mut self.shards[shard];
+                if now_ms.to_bits() == state.pending_timer.to_bits() {
+                    state.pending_timer = f64::INFINITY;
                 }
-                CLASS_TIMER => {
-                    if event.time.to_bits() == state.pending_timer.to_bits() {
-                        state.pending_timer = f64::INFINITY;
-                    }
-                    if state.busy_until.is_none() {
-                        attempt_dispatch(
-                            state,
-                            shard,
-                            event.time,
-                            cluster,
-                            policy,
-                            config,
-                            preassigned.is_none().then_some(&global_future[..]),
-                            &mut heap,
-                            &mut seq,
-                        )?;
-                    }
+                if self.idle_and_up(shard) {
+                    self.attempt_dispatch(shard, now_ms)
+                } else {
+                    Ok(())
                 }
-                class => unreachable!("unknown event class {class}"),
             }
+            EventKind::Crash { recover_ms } => {
+                self.on_crash(shard, now_ms, recover_ms);
+                Ok(())
+            }
+            EventKind::Recover => self.on_recover(shard, now_ms),
+            EventKind::DegradeStart { factor, window_ms } => {
+                {
+                    let state = &mut self.shards[shard];
+                    state.degrade_depth += 1;
+                    // Overlapping windows: the most recent factor wins.
+                    state.degrade_factor = factor;
+                }
+                self.push_event(
+                    now_ms + window_ms,
+                    CLASS_FAULT,
+                    shard,
+                    EventKind::DegradeEnd,
+                );
+                Ok(())
+            }
+            EventKind::DegradeEnd => {
+                let state = &mut self.shards[shard];
+                state.degrade_depth = state.degrade_depth.saturating_sub(1);
+                if state.degrade_depth == 0 {
+                    state.degrade_factor = 1.0;
+                }
+                Ok(())
+            }
+            EventKind::StallStart {
+                extra_ms,
+                window_ms,
+            } => {
+                {
+                    let state = &mut self.shards[shard];
+                    state.stall_depth += 1;
+                    state.stall_extra_ms = extra_ms;
+                }
+                self.push_event(now_ms + window_ms, CLASS_FAULT, shard, EventKind::StallEnd);
+                Ok(())
+            }
+            EventKind::StallEnd => {
+                let state = &mut self.shards[shard];
+                state.stall_depth = state.stall_depth.saturating_sub(1);
+                if state.stall_depth == 0 {
+                    state.stall_extra_ms = 0.0;
+                }
+                Ok(())
+            }
+            EventKind::CompileFailStart { window_ms } => {
+                let state = &mut self.shards[shard];
+                state.compile_fail_until = state.compile_fail_until.max(now_ms + window_ms);
+                Ok(())
+            }
+            EventKind::Retry {
+                request,
+                from_shard,
+            } => self.on_retry(placement, request, from_shard, now_ms),
+            EventKind::Hedge { request, origin } => self.on_hedge(request, origin, now_ms),
         }
     }
 
-    // The cluster-wide horizon closes every shard's depth integral.
-    let makespan_ms = shards
-        .iter()
-        .map(|state| state.report.makespan_ms)
-        .fold(0.0_f64, f64::max);
-    let reports = shards
-        .into_iter()
-        .enumerate()
-        .map(|(shard, mut state)| {
-            assert!(
-                state.queues.iter().all(VecDeque::is_empty),
-                "shard {shard} stalled with queued requests (policy never became ready)"
-            );
-            state.note_depth(state.depth_last_ms.max(makespan_ms), 0);
-            state.report.queue_depth_mean = if makespan_ms > 0.0 {
-                state.depth_integral_ms / makespan_ms
-            } else {
-                0.0
+    /// A batch finished (unless a crash aborted it first — then the
+    /// epoch is stale and the event is a no-op).
+    fn on_complete(&mut self, shard: usize, now_ms: f64, epoch: u64) -> Result<(), RuntimeError> {
+        let track = self.track_ids();
+        let mut newly_served: Vec<u64> = Vec::new();
+        {
+            let state = &mut self.shards[shard];
+            let Some(batch) = state.in_flight.take() else {
+                return Ok(()); // aborted by a crash, shard idle since
             };
-            state.report.queue_depth_max = state.depth_max;
-            state.report.cache = state.cache.into_stats();
-            state.report
-        })
-        .collect();
-    Ok(ServeRun { reports, rejected })
-}
-
-/// Evaluates every non-empty queue of an **idle** shard at `now_ms`
-/// and either launches the most urgent ready batch or schedules the
-/// earliest batch-close timer. The decision rule matches the
-/// pre-engine drain exactly: ready queues race on
-/// [`BatchPolicy::urgency`] (default: head arrival — FIFO across
-/// networks), strict-less comparison, ties to the lowest network
-/// index.
-#[allow(clippy::too_many_arguments)]
-fn attempt_dispatch(
-    state: &mut ShardState,
-    shard: usize,
-    now_ms: f64,
-    cluster: &ServeCluster,
-    policy: &dyn BatchPolicy,
-    config: &EngineConfig,
-    global_future: Option<&[usize]>,
-    heap: &mut BinaryHeap<Event>,
-    seq: &mut u64,
-) -> Result<(), RuntimeError> {
-    debug_assert!(state.busy_until.is_none(), "dispatch on a busy shard");
-    let mut best: Option<(usize, usize, f64)> = None; // (net, take, urgency)
-    let mut wake_ms = f64::INFINITY;
-    for net in 0..state.queues.len() {
-        if state.queues[net].is_empty() {
-            continue;
-        }
-        let more_arrivals = match global_future {
-            Some(global) => global[net] > 0,
-            None => state.future_per_net[net] > 0,
-        };
-        // O(1) when the ring has not wrapped since the last front
-        // drain; policies see a plain FIFO slice.
-        let contiguous: &[Request] = state.queues[net].make_contiguous();
-        match policy.decide(contiguous, now_ms, more_arrivals) {
-            PolicyDecision::Dispatch { take } => {
-                let take = take.clamp(1, contiguous.len());
-                let urgency = policy.urgency(contiguous, now_ms);
-                if best.is_none_or(|(_, _, top)| urgency < top) {
-                    best = Some((net, take, urgency));
-                }
+            if batch.epoch != epoch {
+                state.in_flight = Some(batch); // stale event, newer batch running
+                return Ok(());
             }
-            PolicyDecision::WaitUntil(at) => wake_ms = wake_ms.min(at),
-            PolicyDecision::WaitForArrivals => {}
+            let size = batch.requests.len();
+            state.report.batches.push(BatchRecord {
+                network: batch.network,
+                size,
+                start_ms: batch.start_ms,
+                service_ms: batch.service_ms,
+                compile_ms: batch.compile_ms,
+            });
+            for request in &batch.requests {
+                if track {
+                    if !self.served.insert(request.id) {
+                        // A hedge twin already won: this completion is
+                        // billed (busy time above) but not served.
+                        continue;
+                    }
+                    newly_served.push(request.id);
+                    self.failed_ids.remove(&request.id);
+                }
+                state.report.requests.push(ServedRequest {
+                    id: request.id,
+                    network: request.network,
+                    arrival_ms: request.arrival_ms,
+                    deadline_ms: request.deadline_ms,
+                    class: request.class,
+                    start_ms: batch.start_ms,
+                    completion_ms: now_ms,
+                    batch_size: size,
+                });
+            }
+            state.report.busy_ms += batch.compile_ms + batch.service_ms;
+            state.report.makespan_ms = now_ms;
+        }
+        // First completion wins: queued hedge twins of the ids just
+        // served are cancelled cluster-wide.
+        if self.config.hedge.is_some() && !newly_served.is_empty() {
+            self.cancel_queued(&newly_served, now_ms);
+        }
+        self.attempt_dispatch(shard, now_ms)
+    }
+
+    /// Removes queued twins of just-served ids from every queue.
+    fn cancel_queued(&mut self, ids: &[u64], now_ms: f64) {
+        for state in &mut self.shards {
+            let mut removed = 0usize;
+            for queue in &mut state.queues {
+                let before = queue.len();
+                queue.retain(|r| !ids.contains(&r.id));
+                removed += before - queue.len();
+            }
+            if removed > 0 {
+                state.note_depth(now_ms, state.depth - removed);
+            }
         }
     }
 
-    if let Some((net, take, _)) = best {
-        let service_ms = match state.service_ms.entry((net, take)) {
+    /// A crash fires: the shard goes dark, the in-flight batch is
+    /// aborted and its requests enter retry.
+    fn on_crash(&mut self, shard: usize, now_ms: f64, recover_ms: f64) {
+        let until = now_ms + recover_ms;
+        let schedule_recover = {
+            let state = &mut self.shards[shard];
+            state.report.fault.crashes += 1;
+            match state.down_until {
+                None => {
+                    state.down_since = now_ms;
+                    state.down_until = Some(until);
+                    true
+                }
+                Some(current) if until > current => {
+                    // Overlapping crash extends the outage; the
+                    // earlier recovery event goes stale.
+                    state.down_until = Some(until);
+                    true
+                }
+                Some(_) => false,
+            }
+        };
+        if schedule_recover {
+            self.push_event(until, CLASS_FAULT, shard, EventKind::Recover);
+        }
+        if let Some(batch) = self.shards[shard].in_flight.take() {
+            self.shards[shard].report.fault.aborted_batches += 1;
+            // Aborted work is lost: not billed as busy time, no batch
+            // or request records. The victims follow the retry policy.
+            for request in batch.requests {
+                self.retry_or_fail(request, now_ms, shard);
+            }
+        }
+    }
+
+    /// The recovery instant arrives (stale if a later crash extended
+    /// the outage).
+    fn on_recover(&mut self, shard: usize, now_ms: f64) -> Result<(), RuntimeError> {
+        {
+            let state = &mut self.shards[shard];
+            if state.down_until.map(f64::to_bits) != Some(now_ms.to_bits()) {
+                return Ok(()); // stale: a later crash extended the outage
+            }
+            state.down_until = None;
+            state.report.fault.downtime_ms += now_ms - state.down_since;
+        }
+        self.attempt_dispatch(shard, now_ms)
+    }
+
+    /// Schedules a retry for a crash victim, or abandons it once the
+    /// policy is exhausted.
+    fn retry_or_fail(&mut self, request: Request, now_ms: f64, from_shard: usize) {
+        if self.served.contains(&request.id) {
+            return; // a hedge twin already completed it
+        }
+        let retries_so_far = self.attempts.get(&request.id).copied().unwrap_or(0);
+        let retry = &self.config.retry;
+        let fire_ms = now_ms + retry.backoff_ms(retries_so_far + 1);
+        let within_timeout = fire_ms - request.arrival_ms <= retry.timeout_for(request.class);
+        if !retry.allows(retries_so_far) || !within_timeout {
+            if self.failed_ids.insert(request.id) {
+                self.failed.push(request);
+            }
+            return;
+        }
+        self.attempts.insert(request.id, retries_so_far + 1);
+        self.class_stats[usize::from(request.class)].retries += 1;
+        self.shards[from_shard].report.fault.retries += 1;
+        self.push_event(
+            fire_ms,
+            CLASS_RETRY,
+            from_shard,
+            EventKind::Retry {
+                request,
+                from_shard,
+            },
+        );
+    }
+
+    /// A retry fires: re-place the request (online: against the live
+    /// view, so healthy siblings win — failover; preplaced: back to
+    /// the same shard) and enqueue it.
+    fn on_retry(
+        &mut self,
+        placement: &mut dyn Placement,
+        request: Request,
+        from_shard: usize,
+        now_ms: f64,
+    ) -> Result<(), RuntimeError> {
+        if self.served.contains(&request.id) {
+            return Ok(()); // a twin won while the backoff elapsed
+        }
+        let shard_count = self.shards.len();
+        let target = match &self.preassigned {
+            Some(_) => Some(from_shard),
+            None => {
+                self.refresh_live();
+                let chosen = placement.assign(&request, &self.live_view());
+                assert!(
+                    chosen < shard_count,
+                    "placement routed retried request {} to shard {chosen} of {shard_count}",
+                    request.id
+                );
+                if self.fits(chosen, request.network) {
+                    Some(chosen)
+                } else {
+                    (0..shard_count).find(|&shard| self.fits(shard, request.network))
+                }
+            }
+        };
+        let Some(target) = target else {
+            if self.failed_ids.insert(request.id) {
+                self.failed.push(request);
+            }
+            return Ok(());
+        };
+        if target != from_shard {
+            self.class_stats[usize::from(request.class)].failovers += 1;
+            self.shards[target].report.fault.failovers += 1;
+        }
+        {
+            let state = &mut self.shards[target];
+            state.note_depth(now_ms, state.depth + 1);
+            state.queues[request.network].push_back(request);
+        }
+        if self.idle_and_up(target) {
+            self.attempt_dispatch(target, now_ms)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// A hedge delay expired with the request still incomplete:
+    /// enqueue a duplicate on the second-best healthy shard.
+    fn on_hedge(
+        &mut self,
+        request: Request,
+        origin: usize,
+        now_ms: f64,
+    ) -> Result<(), RuntimeError> {
+        if self.served.contains(&request.id) {
+            return Ok(()); // completed in time, nothing to hedge
+        }
+        let net = request.network;
+        let costs = self.cluster.unit_service_ms();
+        let target = (0..self.shards.len())
+            .filter(|&s| s != origin && self.shards[s].down_until.is_none() && self.fits(s, net))
+            .min_by(|&a, &b| costs[a][net].total_cmp(&costs[b][net]).then(a.cmp(&b)));
+        let Some(target) = target else {
+            return Ok(()); // nowhere to hedge to; the original stands
+        };
+        self.class_stats[usize::from(request.class)].hedges += 1;
+        {
+            let state = &mut self.shards[target];
+            state.report.fault.hedges += 1;
+            state.note_depth(now_ms, state.depth + 1);
+            state.queues[net].push_back(request);
+        }
+        if self.idle_and_up(target) {
+            self.attempt_dispatch(target, now_ms)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Evaluates every non-empty queue of an idle, healthy shard at
+    /// `now_ms` and either launches the most urgent ready batch or
+    /// schedules the earliest batch-close timer. The decision rule
+    /// matches the pre-engine drain exactly: ready queues race on
+    /// [`BatchPolicy::urgency`] (default: head arrival — FIFO across
+    /// networks), ties to the lowest network index. During a transient
+    /// compile-failure window, ready batches whose plan is not
+    /// resident are blocked and the next-best resident-plan batch
+    /// launches instead (or the shard wakes when the window closes).
+    fn attempt_dispatch(&mut self, shard: usize, now_ms: f64) -> Result<(), RuntimeError> {
+        if !self.idle_and_up(shard) {
+            return Ok(());
+        }
+        let mut ready: Vec<(f64, usize, usize)> = Vec::new(); // (urgency, net, take)
+        let mut wake_ms = f64::INFINITY;
+        {
+            let state = &mut self.shards[shard];
+            for net in 0..state.queues.len() {
+                if state.queues[net].is_empty() {
+                    continue;
+                }
+                let more_arrivals = match &self.preassigned {
+                    Some(_) => state.future_per_net[net] > 0,
+                    None => self.global_future[net] > 0,
+                };
+                // O(1) when the ring has not wrapped since the last
+                // front drain; policies see a plain FIFO slice.
+                let contiguous: &[Request] = state.queues[net].make_contiguous();
+                match self.policy.decide(contiguous, now_ms, more_arrivals) {
+                    PolicyDecision::Dispatch { take } => {
+                        let take = take.clamp(1, contiguous.len());
+                        let urgency = self.policy.urgency(contiguous, now_ms);
+                        ready.push((urgency, net, take));
+                    }
+                    PolicyDecision::WaitUntil(at) => wake_ms = wake_ms.min(at),
+                    PolicyDecision::WaitForArrivals => {}
+                }
+            }
+        }
+        // Most urgent first; stable sort keeps the lowest network
+        // index on urgency ties — the pre-engine drain's rule.
+        ready.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let fail_active = now_ms < self.shards[shard].compile_fail_until;
+        let mut blocked = false;
+        for &(_, net, take) in &ready {
+            if fail_active && !self.shards[shard].cache.contains(&(net, take)) {
+                blocked = true; // compile would fail; try the next queue
+                continue;
+            }
+            return self.dispatch(shard, now_ms, net, take);
+        }
+        if blocked {
+            self.shards[shard].report.fault.compile_failures += 1;
+            wake_ms = wake_ms.min(self.shards[shard].compile_fail_until);
+        }
+        if wake_ms.is_finite() {
+            // A batch-close event: without it, a queue whose deadline
+            // expires between arrivals would stay open until the next
+            // arrival happened by (the off-by-one-event bug).
+            assert!(
+                wake_ms > now_ms,
+                "shard {shard} stalled at {now_ms} ms (policy asked to wait for the past)"
+            );
+            if wake_ms < self.shards[shard].pending_timer {
+                self.shards[shard].pending_timer = wake_ms;
+                self.push_event(wake_ms, CLASS_TIMER, shard, EventKind::Timer);
+            }
+        }
+        Ok(())
+    }
+
+    /// Launches one batch: memoized service time (first touch compiles
+    /// through the executor), degrade multiplier, compile-on-miss
+    /// charge (plus any stall surcharge), and the completion event.
+    fn dispatch(
+        &mut self,
+        shard: usize,
+        now_ms: f64,
+        net: usize,
+        take: usize,
+    ) -> Result<(), RuntimeError> {
+        let cluster = self.cluster;
+        let state = &mut self.shards[shard];
+        let service_base = match state.service_ms.entry((net, take)) {
             std::collections::btree_map::Entry::Occupied(hit) => *hit.get(),
             std::collections::btree_map::Entry::Vacant(slot) => {
                 let plan = cluster
@@ -647,66 +1267,100 @@ fn attempt_dispatch(
                 *slot.insert(plan.run().total_ms)
             }
         };
+        // FlexSA-style reduced mode: inside a degrade window the batch
+        // runs slower by the live factor. (Guarded so the fault-free
+        // path performs the exact same float ops as before.)
+        let degraded = state.degrade_depth > 0;
+        let service_ms = if degraded {
+            service_base * state.degrade_factor
+        } else {
+            service_base
+        };
         // Simulated plan residency: a miss bills the compile before
-        // the batch starts (0 under the legacy shim's free compiles).
-        let compile_charge =
-            config.compile_ms_per_layer * cluster.unit_plan(shard, net).layer_count() as f64;
+        // the batch starts (0 under the legacy shim's free compiles);
+        // an active stall window adds its surcharge per miss.
+        let mut compile_charge =
+            self.config.compile_ms_per_layer * cluster.unit_plan(shard, net).layer_count() as f64;
+        if state.stall_depth > 0 {
+            compile_charge += state.stall_extra_ms;
+        }
         let compile_ms = state.cache.access(
             (net, take),
             cluster.unit_plan_bytes()[shard][net],
             compile_charge,
         );
         let completion_ms = now_ms + compile_ms + service_ms;
-        state.report.batches.push(BatchRecord {
-            network: net,
-            size: take,
-            start_ms: now_ms,
-            service_ms,
-            compile_ms,
-        });
-        for request in state.queues[net].drain(..take) {
-            state.report.requests.push(ServedRequest {
-                id: request.id,
-                network: request.network,
-                arrival_ms: request.arrival_ms,
-                deadline_ms: request.deadline_ms,
-                start_ms: now_ms,
-                completion_ms,
-                batch_size: take,
-            });
-        }
+        let requests: Vec<Request> = state.queues[net].drain(..take).collect();
         state.note_depth(now_ms, state.depth - take);
-        state.report.busy_ms += compile_ms + service_ms;
-        state.report.makespan_ms = completion_ms;
-        state.busy_until = Some(completion_ms);
-        state.in_flight = take;
-        heap.push(Event {
-            time: completion_ms,
-            class: CLASS_COMPLETE,
-            seq: *seq,
-            shard,
+        state.epoch += 1;
+        let epoch = state.epoch;
+        if degraded {
+            state.report.fault.degraded_batches += 1;
+        }
+        state.in_flight = Some(InFlightBatch {
+            network: net,
+            start_ms: now_ms,
+            compile_ms,
+            service_ms,
+            epoch,
+            requests,
         });
-        *seq += 1;
-    } else if wake_ms.is_finite() {
-        // A batch-close event: without it, a queue whose deadline
-        // expires between arrivals would stay open until the next
-        // arrival happened by (the off-by-one-event bug).
-        assert!(
-            wake_ms > now_ms,
-            "shard {shard} stalled at {now_ms} ms (policy asked to wait for the past)"
+        self.push_event(
+            completion_ms,
+            CLASS_COMPLETE,
+            shard,
+            EventKind::Complete { epoch },
         );
-        if wake_ms < state.pending_timer {
-            state.pending_timer = wake_ms;
-            heap.push(Event {
-                time: wake_ms,
-                class: CLASS_TIMER,
-                seq: *seq,
-                shard,
-            });
-            *seq += 1;
+        Ok(())
+    }
+
+    /// Closes the run: depth integrals, cache stats, the drain assert,
+    /// and the exact-partition cleanup of the failed bucket.
+    fn finish(mut self) -> ServeRun {
+        // The cluster-wide horizon closes every shard's depth
+        // integral.
+        let makespan_ms = self
+            .shards
+            .iter()
+            .map(|state| state.report.makespan_ms)
+            .fold(0.0_f64, f64::max);
+        let reports: Vec<ShardReport> = self
+            .shards
+            .into_iter()
+            .enumerate()
+            .map(|(shard, mut state)| {
+                assert!(
+                    state.queues.iter().all(VecDeque::is_empty),
+                    "shard {shard} stalled with queued requests (policy never became ready)"
+                );
+                assert!(
+                    state.in_flight.is_none(),
+                    "shard {shard} finished with a batch still in flight"
+                );
+                state.note_depth(state.depth_last_ms.max(makespan_ms), 0);
+                state.report.queue_depth_mean = if makespan_ms > 0.0 {
+                    state.depth_integral_ms / makespan_ms
+                } else {
+                    0.0
+                };
+                state.report.queue_depth_max = state.depth_max;
+                state.report.cache = state.cache.into_stats();
+                state.report
+            })
+            .collect();
+        // A request that failed its retries but whose hedge twin later
+        // completed anyway is served, not failed — keep the four
+        // buckets an exact partition of the trace.
+        let served = &self.served;
+        self.failed.retain(|request| !served.contains(&request.id));
+        ServeRun {
+            reports,
+            rejected: self.rejected,
+            shed: self.shed,
+            failed: self.failed,
+            class_stats: self.class_stats,
         }
     }
-    Ok(())
 }
 
 #[cfg(test)]
@@ -750,6 +1404,16 @@ mod tests {
     }
 
     #[test]
+    fn plan_cache_contains_peeks_without_billing() {
+        let mut cache = PlanCache::new(Some(100));
+        assert!(!cache.contains(&(0, 1)));
+        cache.access((0, 1), 40, 2.0);
+        assert!(cache.contains(&(0, 1)));
+        let stats = cache.into_stats();
+        assert_eq!(stats.lookups, 1, "contains() is not a lookup");
+    }
+
+    #[test]
     fn oversized_plan_empties_the_cache_but_still_runs() {
         let mut cache = PlanCache::new(Some(64));
         cache.access((0, 1), 30, 1.0);
@@ -781,11 +1445,15 @@ mod tests {
             class,
             seq,
             shard: 0,
+            kind: EventKind::Timer,
         };
         heap.push(ev(5.0, CLASS_TIMER, 0));
         heap.push(ev(5.0, CLASS_COMPLETE, 1));
         heap.push(ev(4.0, CLASS_TIMER, 2));
         heap.push(ev(5.0, CLASS_COMPLETE, 3));
+        heap.push(ev(5.0, CLASS_FAULT, 4));
+        heap.push(ev(5.0, CLASS_HEDGE, 5));
+        heap.push(ev(5.0, CLASS_RETRY, 6));
         let order: Vec<(f64, u8, u64)> = std::iter::from_fn(|| heap.pop())
             .map(|e| (e.time, e.class, e.seq))
             .collect();
@@ -796,7 +1464,11 @@ mod tests {
                 (5.0, CLASS_COMPLETE, 1),
                 (5.0, CLASS_COMPLETE, 3),
                 (5.0, CLASS_TIMER, 0),
-            ]
+                (5.0, CLASS_FAULT, 4),
+                (5.0, CLASS_RETRY, 6),
+                (5.0, CLASS_HEDGE, 5),
+            ],
+            "completions before timers before faults before retries before hedges"
         );
     }
 }

@@ -57,6 +57,11 @@ pub struct Request {
     /// [`ServeOutcome`](super::ServeOutcome); the EDF policy orders
     /// queues by it.
     pub deadline_ms: f64,
+    /// SLO class, 0 = highest priority. The shed policy drops the
+    /// highest class numbers first under backlog pressure, and retry
+    /// timeouts scale per class. Traces without classes are all
+    /// class 0.
+    pub class: u8,
 }
 
 impl Request {
@@ -79,6 +84,7 @@ pub struct LoadGenerator {
     rng: SeededRng,
     mean_interarrival_ms: f64,
     slo_ms: f64,
+    classes: u8,
 }
 
 impl LoadGenerator {
@@ -91,6 +97,7 @@ impl LoadGenerator {
             rng: SeededRng::new(seed),
             mean_interarrival_ms: mean_interarrival_ms.max(0.0),
             slo_ms: f64::INFINITY,
+            classes: 1,
         }
     }
 
@@ -101,6 +108,17 @@ impl LoadGenerator {
     #[must_use]
     pub fn with_slo(mut self, slo_ms: f64) -> Self {
         self.slo_ms = if slo_ms > 0.0 { slo_ms } else { f64::INFINITY };
+        self
+    }
+
+    /// Stripes the trace over `classes` SLO classes: request `id` gets
+    /// `class = id % classes` — a pure function of the id, **zero**
+    /// extra RNG draws, so arrivals, networks and deadlines are
+    /// bit-identical with and without classes. `classes` is clamped
+    /// to 1+.
+    #[must_use]
+    pub fn with_classes(mut self, classes: u8) -> Self {
+        self.classes = classes.max(1);
         self
     }
 
@@ -116,6 +134,9 @@ impl LoadGenerator {
                     network: self.rng.next_index(networks),
                     arrival_ms: t,
                     deadline_ms: t + self.slo_ms,
+                    // Pure function of the id: no RNG draw, so classed
+                    // and class-free traces are otherwise bit-identical.
+                    class: (id % u64::from(self.classes)) as u8,
                 }
             })
             .collect()
@@ -168,6 +189,22 @@ mod tests {
         // A non-positive SLO means "no SLO", not "always missed".
         let none = LoadGenerator::new(21, 2.0).with_slo(0.0).trace(10, 3);
         assert!(none.iter().all(|r| r.deadline_ms == f64::INFINITY));
+    }
+
+    #[test]
+    fn classes_stripe_without_perturbing_the_trace() {
+        let plain = LoadGenerator::new(5, 2.0).trace(100, 3);
+        let classed = LoadGenerator::new(5, 2.0).with_classes(3).trace(100, 3);
+        for (a, b) in plain.iter().zip(&classed) {
+            assert_eq!(a.arrival_ms.to_bits(), b.arrival_ms.to_bits());
+            assert_eq!(a.network, b.network);
+            assert_eq!(a.deadline_ms.to_bits(), b.deadline_ms.to_bits());
+            assert_eq!(a.class, 0, "class-free traces are all class 0");
+            assert_eq!(b.class, (b.id % 3) as u8);
+        }
+        for class in 0..3u8 {
+            assert!(classed.iter().any(|r| r.class == class));
+        }
     }
 
     #[test]

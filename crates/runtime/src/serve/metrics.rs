@@ -1,7 +1,11 @@
 //! Aggregation of shard reports into serving metrics: latency
 //! percentiles (p50/p99/p99.9), SLO accounting (deadline misses,
-//! goodput), queue-depth and plan-cache statistics.
+//! goodput), queue-depth, plan-cache and fault/recovery statistics
+//! (sheds, retries, hedges, failovers, downtime) — cluster-wide, per
+//! shard, and per SLO class.
 
+use super::engine::ServeRun;
+use super::fault::ShardFaultStats;
 use super::ShardReport;
 
 /// Exact counters of one shard's simulated plan cache.
@@ -63,15 +67,45 @@ pub struct ShardSummary {
     pub queue_depth_max: usize,
     /// The shard's plan-cache counters.
     pub cache: PlanCacheStats,
+    /// The shard's fault and recovery counters (all zero in fault-free
+    /// runs).
+    pub fault: ShardFaultStats,
+}
+
+/// Per-SLO-class aggregate of one serve run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ClassSummary {
+    /// The SLO class (0 = highest priority).
+    pub class: u8,
+    /// Requests of this class that completed.
+    pub served: usize,
+    /// Requests of this class dropped by the shed watermark.
+    pub shed: usize,
+    /// Requests of this class abandoned after exhausting retries.
+    pub failed: usize,
+    /// Served requests of this class that finished after their
+    /// deadline.
+    pub deadline_misses: u64,
+    /// Retries scheduled for this class.
+    pub retries: u64,
+    /// Hedge duplicates issued for this class.
+    pub hedges: u64,
+    /// Retries of this class re-placed onto a different shard.
+    pub failovers: u64,
 }
 
 /// Cluster-wide metrics of one serve run.
 #[derive(Debug, Clone)]
 pub struct ServeOutcome {
-    /// Requests served (trace length minus rejections).
+    /// Requests served (trace length minus rejections, sheds and
+    /// failures).
     pub requests: usize,
     /// Requests the admission controller turned away.
     pub rejected: usize,
+    /// Requests dropped by the shed watermark under backlog pressure.
+    pub shed: usize,
+    /// Requests abandoned after exhausting their retry policy.
+    pub failed: usize,
     /// Median request latency (queueing + batched execution), ms.
     pub p50_ms: f64,
     /// 99th-percentile request latency, ms.
@@ -90,13 +124,25 @@ pub struct ServeOutcome {
     /// (requests without a finite deadline can never miss).
     pub deadline_misses: u64,
     /// Fraction of the offered trace that was served *and* met its
-    /// deadline: `(requests - deadline_misses) / (requests +
-    /// rejected)`. 1.0 for an SLO-free trace with no rejections.
+    /// deadline: served-and-on-time over
+    /// `requests + rejected + shed + failed`. 1.0 for an SLO-free
+    /// trace nothing was dropped from.
     pub goodput: f64,
+    /// Retries scheduled across the run.
+    pub retries: u64,
+    /// Hedge duplicates issued across the run.
+    pub hedges: u64,
+    /// Retries re-placed onto a different shard.
+    pub failovers: u64,
+    /// Total simulated shard downtime, ms (per-shard sum).
+    pub downtime_ms: f64,
     /// Cluster-wide plan-cache counters (per-shard sums).
     pub cache: PlanCacheStats,
     /// Per-shard aggregates, in shard order.
     pub shards: Vec<ShardSummary>,
+    /// Per-SLO-class aggregates, in class order (a single all-zero
+    /// class for class-free traces).
+    pub classes: Vec<ClassSummary>,
     /// `(batch size, batches formed)` in ascending size order.
     pub batch_histogram: Vec<(usize, u64)>,
 }
@@ -122,11 +168,13 @@ fn percentile_of_sorted(sorted: &[f64], p: f64) -> f64 {
     sorted[rank.min(sorted.len() - 1)]
 }
 
-/// Folds the per-shard reports into the cluster-wide outcome.
-/// `rejected` is the count of requests the admission controller turned
-/// away (they never reach a shard report but count against goodput).
+/// Folds one engine run into the cluster-wide outcome: latency
+/// percentiles over the served set, goodput against everything offered
+/// (served + rejected + shed + failed), and the fault/recovery
+/// counters rolled up per shard and per SLO class.
 #[must_use]
-pub fn aggregate(reports: &[ShardReport], rejected: usize) -> ServeOutcome {
+pub fn aggregate(run: &ServeRun) -> ServeOutcome {
+    let reports = &run.reports;
     let mut latencies: Vec<f64> = reports
         .iter()
         .flat_map(|r| r.requests.iter().map(|req| req.latency_ms()))
@@ -139,6 +187,7 @@ pub fn aggregate(reports: &[ShardReport], rejected: usize) -> ServeOutcome {
         .fold(0.0_f64, f64::max);
     let busy_ms: f64 = reports.iter().map(|r| r.busy_ms).sum();
     let deadline_misses: u64 = reports.iter().map(shard_misses).sum();
+    let downtime_ms: f64 = reports.iter().map(|r| r.fault.downtime_ms).sum();
 
     let mut histogram = std::collections::BTreeMap::new();
     for report in reports {
@@ -148,15 +197,66 @@ pub fn aggregate(reports: &[ShardReport], rejected: usize) -> ServeOutcome {
     }
 
     let mut cache = PlanCacheStats::default();
+    let mut fault_totals = ShardFaultStats::default();
     for report in reports {
         cache.absorb(&report.cache);
+        fault_totals.absorb(&report.fault);
+    }
+
+    // Per-class rollup: served/misses off the reports, shed/failed off
+    // the run's buckets, recovery counters off the engine's per-class
+    // stats. `class_stats` already spans every class in the trace.
+    let mut classes: Vec<ClassSummary> = run
+        .class_stats
+        .iter()
+        .enumerate()
+        .map(|(class, stats)| ClassSummary {
+            class: class as u8,
+            retries: stats.retries,
+            hedges: stats.hedges,
+            failovers: stats.failovers,
+            ..ClassSummary::default()
+        })
+        .collect();
+    let class_slot = |classes: &mut Vec<ClassSummary>, class: u8| -> usize {
+        let index = usize::from(class);
+        while classes.len() <= index {
+            let next = classes.len() as u8;
+            classes.push(ClassSummary {
+                class: next,
+                ..ClassSummary::default()
+            });
+        }
+        index
+    };
+    for report in reports {
+        for request in &report.requests {
+            let slot = class_slot(&mut classes, request.class);
+            classes[slot].served += 1;
+            if request.completion_ms > request.deadline_ms {
+                classes[slot].deadline_misses += 1;
+            }
+        }
+    }
+    for request in &run.shed {
+        let slot = class_slot(&mut classes, request.class);
+        classes[slot].shed += 1;
+    }
+    for request in &run.failed {
+        let slot = class_slot(&mut classes, request.class);
+        classes[slot].failed += 1;
     }
 
     let served = latencies.len();
-    let offered = served + rejected;
+    let rejected = run.rejected.len();
+    let shed = run.shed.len();
+    let failed = run.failed.len();
+    let offered = served + rejected + shed + failed;
     ServeOutcome {
         requests: served,
         rejected,
+        shed,
+        failed,
         p50_ms: percentile_of_sorted(&latencies, 50.0),
         p99_ms: percentile_of_sorted(&latencies, 99.0),
         p999_ms: percentile_of_sorted(&latencies, 99.9),
@@ -174,6 +274,10 @@ pub fn aggregate(reports: &[ShardReport], rejected: usize) -> ServeOutcome {
         } else {
             (served as u64 - deadline_misses) as f64 / offered as f64
         },
+        retries: fault_totals.retries,
+        hedges: fault_totals.hedges,
+        failovers: fault_totals.failovers,
+        downtime_ms,
         cache,
         shards: reports
             .iter()
@@ -192,8 +296,10 @@ pub fn aggregate(reports: &[ShardReport], rejected: usize) -> ServeOutcome {
                 queue_depth_mean: r.queue_depth_mean,
                 queue_depth_max: r.queue_depth_max,
                 cache: r.cache.clone(),
+                fault: r.fault,
             })
             .collect(),
+        classes,
         batch_histogram: histogram.into_iter().collect(),
     }
 }

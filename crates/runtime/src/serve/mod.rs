@@ -31,6 +31,14 @@
 //! * **A legacy-parity shim** ([`EngineConfig::legacy`]): preplaced
 //!   admission, unbounded cache, free compiles — bit-for-bit the
 //!   pre-engine three-phase (admit → drain → aggregate) pipeline.
+//! * **Fault tolerance**: a seeded [`FaultPlan`] injects crashes,
+//!   degrade windows, compile stalls and transient compile failures
+//!   as first-class events; [`RetryPolicy`], [`HedgePolicy`] and
+//!   [`ShedPolicy`] govern recovery, and the outcome reports sheds,
+//!   retries, hedges, failovers and downtime per shard and per SLO
+//!   class (see `docs/FAULT_TOLERANCE.md`). An empty plan — the
+//!   default — leaves the engine byte-identical to the fault-free
+//!   path.
 //!
 //! ```
 //! use sma_models::zoo;
@@ -56,7 +64,7 @@
 //!     EngineConfig::default(),
 //! )
 //! .unwrap();
-//! let run = sim.run(&mut RoundRobin::default());
+//! let run = sim.try_run(&mut RoundRobin::default()).unwrap();
 //! let outcome = sim.outcome(&run);
 //! assert_eq!(outcome.requests, 200);
 //! assert!(outcome.p99_ms >= outcome.p50_ms);
@@ -64,6 +72,7 @@
 //! ```
 
 mod engine;
+mod fault;
 mod load;
 mod metrics;
 mod placement;
@@ -71,10 +80,17 @@ mod policy;
 mod slo;
 
 pub use engine::{Admission, CacheBudget, EngineConfig, ServeRun};
+pub use fault::{
+    ClassFaultStats, FaultEvent, FaultKind, FaultMix, FaultPlan, HedgePolicy, RetryPolicy,
+    ShardFaultStats, ShedPolicy,
+};
 pub use load::{LoadGenerator, Request, SeededRng};
-pub use metrics::{aggregate, percentile_ms, PlanCacheStats, ServeOutcome, ShardSummary};
+pub use metrics::{
+    aggregate, percentile_ms, ClassSummary, PlanCacheStats, ServeOutcome, ShardSummary,
+};
 pub use placement::{
-    ClusterView, LeastBacklog, LeastOutstanding, Placement, PlatformAffinity, RoundRobin,
+    ClusterView, HealthWeighted, LeastBacklog, LeastOutstanding, Placement, PlatformAffinity,
+    RoundRobin,
 };
 pub use policy::{BatchPolicy, Deadline, Immediate, PolicyDecision, SizeK};
 pub use slo::EarliestDeadlineFirst;
@@ -96,6 +112,8 @@ pub struct ServedRequest {
     pub arrival_ms: f64,
     /// Absolute SLO deadline, ms (`f64::INFINITY` without an SLO).
     pub deadline_ms: f64,
+    /// SLO class (0 = highest priority; class-free traces are all 0).
+    pub class: u8,
     /// Simulated instant its batch started (compile included), ms.
     pub start_ms: f64,
     /// Simulated instant its batch completed, ms.
@@ -165,6 +183,8 @@ pub struct ShardReport {
     pub queue_depth_mean: f64,
     /// Worst instantaneous queued-request count.
     pub queue_depth_max: usize,
+    /// Fault and recovery counters (all zero in fault-free runs).
+    pub fault: ShardFaultStats,
 }
 
 /// A compiled serving cluster: the shard executors, the hosted
@@ -278,7 +298,7 @@ impl ServeCluster {
 /// A serving simulation: a compiled cluster, a batching policy, an
 /// arrival trace and the engine configuration.
 ///
-/// [`ServeSim::run`] executes the discrete-event engine; it borrows
+/// [`ServeSim::try_run`] executes the discrete-event engine; it borrows
 /// `self` immutably, so one simulation can be re-run (pass a fresh
 /// [`Placement`] — strategies carry cursor/backlog state) and runs of
 /// different simulations over one shared cluster can proceed from
@@ -403,35 +423,20 @@ impl ServeSim {
         self.cluster.unit_service_ms()
     }
 
-    /// Runs the discrete-event engine over the trace.
+    /// Runs the discrete-event engine over the trace, surfacing
+    /// backend rejections as values.
     ///
     /// `placement` must be fresh (strategies carry state); re-running
     /// with an equally fresh placement reproduces the result
     /// byte-for-byte.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the shard's backend rejects a batched plan compile;
-    /// use [`ServeSim::try_run`] to handle that as a value (the
-    /// built-in backends never reject a batch of a network they
-    /// already planned at batch 1, but a custom size-limited backend
-    /// may). Also panics if `placement` routes out of range or a
-    /// policy wedges a queue (never becomes ready).
-    #[must_use]
-    pub fn run(&self, placement: &mut dyn Placement) -> ServeRun {
-        self.try_run(placement)
-            // sma-lint: allow(no-panic) — documented panic; try_run is
-            // the fallible form and the message routes callers to it.
-            .expect("backend rejected a batched plan; use try_run")
-    }
-
-    /// Runs the discrete-event engine, surfacing backend rejections.
     ///
     /// # Errors
     ///
     /// Propagates a [`RuntimeError`] from the backend rejecting a lazy
     /// batched-plan compile mid-run (a custom backend may accept a
     /// shape at batch 1 but reject it scaled by the batch size).
+    /// Panics if `placement` routes out of range or a policy wedges a
+    /// queue (never becomes ready).
     pub fn try_run(&self, placement: &mut dyn Placement) -> Result<ServeRun, RuntimeError> {
         engine::run_engine(
             &self.cluster,
@@ -459,7 +464,7 @@ impl ServeSim {
         for (i, report) in run.reports.iter().enumerate() {
             assert_eq!(report.shard, i, "reports must be in shard order");
         }
-        aggregate(&run.reports, run.rejected.len())
+        aggregate(run)
     }
 }
 
@@ -484,7 +489,7 @@ mod tests {
     #[test]
     fn every_request_is_served_exactly_once() {
         let sim = small_sim(Arc::new(Immediate), EngineConfig::default());
-        let run = sim.run(&mut RoundRobin::default());
+        let run = sim.try_run(&mut RoundRobin::default()).unwrap();
         let mut ids: Vec<u64> = run
             .reports
             .iter()
@@ -508,7 +513,7 @@ mod tests {
     #[test]
     fn batches_never_start_before_their_requests_arrive() {
         let sim = small_sim(Arc::new(Deadline::new(5.0, 8)), EngineConfig::default());
-        let run = sim.run(&mut LeastOutstanding::default());
+        let run = sim.try_run(&mut LeastOutstanding::default()).unwrap();
         for report in &run.reports {
             for request in &report.requests {
                 assert!(request.start_ms >= request.arrival_ms - 1e-12);
@@ -527,7 +532,7 @@ mod tests {
     #[test]
     fn size_k_forms_full_batches_until_the_tail() {
         let sim = small_sim(Arc::new(SizeK::new(4)), EngineConfig::default());
-        let run = sim.run(&mut RoundRobin::default());
+        let run = sim.try_run(&mut RoundRobin::default()).unwrap();
         let sizes: Vec<usize> = run
             .reports
             .iter()
@@ -544,8 +549,8 @@ mod tests {
     fn repeat_runs_are_identical_with_fresh_placements() {
         for config in [EngineConfig::default(), EngineConfig::legacy()] {
             let sim = small_sim(Arc::new(Deadline::new(3.0, 16)), config);
-            let a = sim.run(&mut PlatformAffinity::default());
-            let b = sim.run(&mut PlatformAffinity::default());
+            let a = sim.try_run(&mut PlatformAffinity::default()).unwrap();
+            let b = sim.try_run(&mut PlatformAffinity::default()).unwrap();
             for (x, y) in a.reports.iter().zip(&b.reports) {
                 assert_eq!(x.busy_ms.to_bits(), y.busy_ms.to_bits());
                 assert_eq!(x.makespan_ms.to_bits(), y.makespan_ms.to_bits());
@@ -561,7 +566,7 @@ mod tests {
     #[test]
     fn affinity_places_each_network_on_one_platform() {
         let sim = small_sim(Arc::new(Immediate), EngineConfig::default());
-        let run = sim.run(&mut PlatformAffinity::default());
+        let run = sim.try_run(&mut PlatformAffinity::default()).unwrap();
         for net in 0..sim.networks().len() {
             let hosts: std::collections::BTreeSet<&str> = run
                 .reports
@@ -578,7 +583,7 @@ mod tests {
         // Online admission: the live-backlog placement spreads load
         // across both shards even though round-robin state is absent.
         let sim = small_sim(Arc::new(Immediate), EngineConfig::default());
-        let run = sim.run(&mut LeastBacklog);
+        let run = sim.try_run(&mut LeastBacklog).unwrap();
         assert!(
             run.reports.iter().all(|r| !r.requests.is_empty()),
             "both shards serve under least-backlog"

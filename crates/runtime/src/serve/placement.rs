@@ -32,6 +32,18 @@ pub struct ClusterView<'a> {
     /// unbounded cache before any dispatch, grows as plans are
     /// admitted).
     pub resident_plan_bytes: &'a [u64],
+    /// Live health per shard: `false` while a [`FaultPlan`] crash has
+    /// the shard down. All `true` in a fault-free run (and under the
+    /// legacy preplaced shim), so health-aware strategies degenerate to
+    /// their fault-free behaviour bit for bit.
+    ///
+    /// [`FaultPlan`]: super::FaultPlan
+    pub healthy: &'a [bool],
+    /// Live service-time multiplier per shard: 1.0 normally, the
+    /// degrade factor while a [`FaultKind::Degrade`] window is active.
+    ///
+    /// [`FaultKind::Degrade`]: super::FaultKind::Degrade
+    pub degrade: &'a [f64],
 }
 
 impl ClusterView<'_> {
@@ -45,6 +57,11 @@ impl ClusterView<'_> {
     #[must_use]
     pub fn outstanding(&self, shard: usize) -> usize {
         self.queued[shard] + self.in_flight[shard]
+    }
+
+    /// Shard indices currently healthy (up), ascending.
+    pub fn healthy_shards(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.shard_count()).filter(|&s| self.healthy[s])
     }
 }
 
@@ -81,13 +98,16 @@ impl Placement for RoundRobin {
     }
 }
 
-/// Least-backlog: routes each request to the shard with the fewest
-/// live outstanding requests (queued + in flight) at its arrival
-/// event, ties to the lowest index. Unlike [`LeastOutstanding`], which
-/// maintains its own busy-horizon *model* of the cluster, this
-/// strategy reads the engine's actual state — it reacts to the load
-/// that is really present, including backlog created by plan-compile
-/// stalls and cache evictions the model cannot see.
+/// Least-backlog: routes each request to the **healthy** shard with
+/// the fewest live outstanding requests (queued + in flight) at its
+/// arrival event, ties to the lowest index. Unlike
+/// [`LeastOutstanding`], which maintains its own busy-horizon *model*
+/// of the cluster, this strategy reads the engine's actual state — it
+/// reacts to the load that is really present, including backlog
+/// created by plan-compile stalls and cache evictions the model cannot
+/// see. Down shards are skipped (failover); if every shard is down,
+/// the request queues on the least-loaded shard and waits out the
+/// recovery.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct LeastBacklog;
 
@@ -97,13 +117,16 @@ impl Placement for LeastBacklog {
     }
 
     fn assign(&mut self, _request: &Request, cluster: &ClusterView<'_>) -> usize {
-        (0..cluster.shard_count())
-            .min_by(|&a, &b| {
-                cluster
-                    .outstanding(a)
-                    .cmp(&cluster.outstanding(b))
-                    .then(a.cmp(&b))
-            })
+        let least = |a: &usize, b: &usize| {
+            cluster
+                .outstanding(*a)
+                .cmp(&cluster.outstanding(*b))
+                .then(a.cmp(b))
+        };
+        cluster
+            .healthy_shards()
+            .min_by(least)
+            .or_else(|| (0..cluster.shard_count()).min_by(least))
             .unwrap_or(0)
     }
 }
@@ -144,8 +167,11 @@ impl Placement for LeastOutstanding {
 /// each network on its best silicon, at the cost of ignoring load.
 ///
 /// The candidate-shard set per network is a pure function of the
-/// (immutable) [`ClusterView`], so it is derived once on first sight
-/// of each network and memoized beside the round-robin cursor.
+/// cluster's frozen cost matrix, so it is derived once on first sight
+/// of each network and memoized beside the round-robin cursor. Health
+/// is checked live at assign time: down candidates are skipped, and
+/// when the whole preferred platform is down the request fails over to
+/// the healthy shard serving the network fastest.
 #[derive(Debug, Clone, Default)]
 pub struct PlatformAffinity {
     /// `(cursor, candidate shards)` per network, filled lazily.
@@ -175,9 +201,64 @@ impl Placement for PlatformAffinity {
                 .collect();
             (0, candidates)
         });
-        let shard = candidates[*cursor % candidates.len()];
-        *cursor = (*cursor + 1) % candidates.len();
-        shard
+        // Skip down candidates (at most one full lap); with every
+        // candidate healthy this is the plain one-step round-robin.
+        let len = candidates.len();
+        for _ in 0..len {
+            let shard = candidates[*cursor % len];
+            *cursor = (*cursor + 1) % len;
+            if cluster.healthy[shard] {
+                return shard;
+            }
+        }
+        // Whole preferred platform down: fail over to the healthy
+        // shard serving this network fastest (ties to lowest index);
+        // with nothing healthy anywhere, fall back to the cursor pick
+        // and wait out the recovery.
+        cluster
+            .healthy_shards()
+            .min_by(|&a, &b| {
+                cluster.unit_service_ms[a][request.network]
+                    .total_cmp(&cluster.unit_service_ms[b][request.network])
+                    .then(a.cmp(&b))
+            })
+            .unwrap_or(candidates[*cursor % len])
+    }
+}
+
+/// Health- and degradation-weighted placement: routes each request to
+/// the healthy shard minimising `(outstanding + 1) ·
+/// unit_service_ms[shard][network] · degrade[shard]` — an estimate of
+/// the work ahead of the request on that shard, priced at the shard's
+/// *current* (possibly degraded) speed. Ties break to the lowest
+/// index; with every shard down it degenerates to least-backlog over
+/// all shards.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HealthWeighted;
+
+impl Placement for HealthWeighted {
+    fn label(&self) -> String {
+        "health-weighted".into()
+    }
+
+    fn assign(&mut self, request: &Request, cluster: &ClusterView<'_>) -> usize {
+        let score = |s: usize| {
+            (cluster.outstanding(s) + 1) as f64
+                * cluster.unit_service_ms[s][request.network]
+                * cluster.degrade[s]
+        };
+        cluster
+            .healthy_shards()
+            .min_by(|&a, &b| score(a).total_cmp(&score(b)).then(a.cmp(&b)))
+            .or_else(|| {
+                (0..cluster.shard_count()).min_by(|&a, &b| {
+                    cluster
+                        .outstanding(a)
+                        .cmp(&cluster.outstanding(b))
+                        .then(a.cmp(&b))
+                })
+            })
+            .unwrap_or(0)
     }
 }
 
@@ -185,12 +266,16 @@ impl Placement for PlatformAffinity {
 mod tests {
     use super::*;
 
+    const ALL_UP: [bool; 3] = [true; 3];
+    const NO_DEGRADE: [f64; 3] = [1.0; 3];
+
     fn request(network: usize, arrival_ms: f64) -> Request {
         Request {
             id: 0,
             network,
             arrival_ms,
             deadline_ms: f64::INFINITY,
+            class: 0,
         }
     }
 
@@ -207,6 +292,8 @@ mod tests {
             queued: zeros,
             in_flight: zeros,
             resident_plan_bytes: zero_bytes,
+            healthy: &ALL_UP[..platforms.len()],
+            degrade: &NO_DEGRADE[..platforms.len()],
         }
     }
 
@@ -230,6 +317,8 @@ mod tests {
             queued: &queued,
             in_flight: &in_flight,
             resident_plan_bytes: &[0; 3],
+            healthy: &ALL_UP,
+            degrade: &NO_DEGRADE,
         };
         // Outstanding: shard0=3, shard1=2, shard2=2 — tie to shard 1.
         assert_eq!(LeastBacklog.assign(&request(0, 0.0), &view), 1);
@@ -272,5 +361,84 @@ mod tests {
             .collect();
         assert_eq!(n0, [1, 2, 1, 2], "round-robin over the B shards");
         assert_eq!(aff.assign(&request(1, 0.0), &view), 0);
+    }
+
+    #[test]
+    fn least_backlog_fails_over_around_down_shards() {
+        let costs = vec![vec![1.0], vec![1.0], vec![1.0]];
+        let queued = [0usize, 5, 2];
+        let view = ClusterView {
+            platforms: &["A", "B", "C"],
+            unit_service_ms: &costs,
+            queued: &queued,
+            in_flight: &[0; 3],
+            resident_plan_bytes: &[0; 3],
+            healthy: &[false, true, true],
+            degrade: &NO_DEGRADE,
+        };
+        // Shard 0 is emptiest but down: the healthy minimum wins.
+        assert_eq!(LeastBacklog.assign(&request(0, 0.0), &view), 2);
+        // Everything down: fall back to the global minimum and queue.
+        let dark = ClusterView {
+            healthy: &[false; 3],
+            ..view
+        };
+        assert_eq!(LeastBacklog.assign(&request(0, 0.0), &dark), 0);
+    }
+
+    #[test]
+    fn affinity_skips_down_candidates_and_fails_over() {
+        // Network 0 fastest on "B" (shards 1, 2); shard 1 is down.
+        let costs = vec![vec![5.0], vec![2.0], vec![2.0]];
+        let view = ClusterView {
+            platforms: &["A", "B", "B"],
+            unit_service_ms: &costs,
+            queued: &[0; 3],
+            in_flight: &[0; 3],
+            resident_plan_bytes: &[0; 3],
+            healthy: &[true, false, true],
+            degrade: &NO_DEGRADE,
+        };
+        let mut aff = PlatformAffinity::default();
+        let picks: Vec<usize> = (0..3)
+            .map(|_| aff.assign(&request(0, 0.0), &view))
+            .collect();
+        assert_eq!(picks, [2, 2, 2], "the down candidate is skipped");
+        // Whole preferred platform down: fastest healthy shard wins.
+        let b_dark = ClusterView {
+            healthy: &[true, false, false],
+            ..view
+        };
+        assert_eq!(aff.assign(&request(0, 0.0), &b_dark), 0);
+    }
+
+    #[test]
+    fn health_weighted_prices_load_speed_and_degradation() {
+        // Shard 0 idle but 4x degraded; shard 1 fast but loaded;
+        // shard 2 moderately fast, idle, healthy.
+        let costs = vec![vec![2.0], vec![1.0], vec![3.0]];
+        let queued = [0usize, 8, 0];
+        let degrade = [4.0, 1.0, 1.0];
+        let view = ClusterView {
+            platforms: &["A", "B", "C"],
+            unit_service_ms: &costs,
+            queued: &queued,
+            in_flight: &[0; 3],
+            resident_plan_bytes: &[0; 3],
+            healthy: &ALL_UP,
+            degrade: &degrade,
+        };
+        // Scores: shard0 = 1·2·4 = 8, shard1 = 9·1·1 = 9, shard2 =
+        // 1·3·1 = 3.
+        assert_eq!(HealthWeighted.assign(&request(0, 0.0), &view), 2);
+        let down2 = ClusterView {
+            healthy: &[true, true, false],
+            ..view
+        };
+        assert_eq!(
+            HealthWeighted.assign(&request(0, 0.0), &down2),
+            0,
+            "with shard 2 down the degraded-but-idle shard wins on score"
+        );
     }
 }

@@ -170,6 +170,7 @@ mod tests {
                 network: 0,
                 arrival_ms,
                 deadline_ms: f64::INFINITY,
+                class: 0,
             })
             .collect()
     }

@@ -97,6 +97,7 @@ mod tests {
             network: 0,
             arrival_ms,
             deadline_ms,
+            class: 0,
         }
     }
 

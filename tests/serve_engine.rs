@@ -43,12 +43,16 @@ fn reference_admit(
 ) -> Vec<Vec<Request>> {
     let zero_counts = vec![0usize; cluster.shard_count()];
     let zero_bytes = vec![0u64; cluster.shard_count()];
+    let all_up = vec![true; cluster.shard_count()];
+    let no_degrade = vec![1.0f64; cluster.shard_count()];
     let view = ClusterView {
         platforms: cluster.platforms(),
         unit_service_ms: cluster.unit_service_ms(),
         queued: &zero_counts,
         in_flight: &zero_counts,
         resident_plan_bytes: &zero_bytes,
+        healthy: &all_up,
+        degrade: &no_degrade,
     };
     let mut assigned: Vec<Vec<Request>> = vec![Vec::new(); cluster.shard_count()];
     for request in trace {
@@ -204,7 +208,7 @@ fn engine_reproduces_the_three_phase_pipeline_bit_for_bit() {
                 EngineConfig::legacy(),
             );
             let mut fresh = legacy_placements().swap_remove(which);
-            let run = sim.run(fresh.as_mut());
+            let run = sim.try_run(fresh.as_mut()).unwrap();
             assert!(run.rejected.is_empty());
 
             for (shard, (old, new)) in reference.iter().zip(&run.reports).enumerate() {
@@ -251,6 +255,7 @@ fn deadline_batch_closes_at_expiry_not_at_the_next_arrival() {
         network: 0,
         arrival_ms,
         deadline_ms: f64::INFINITY,
+        class: 0,
     };
     let trace = vec![request(0, 10.0), request(1, 1000.0)];
     for config in [EngineConfig::default(), EngineConfig::legacy()] {
@@ -262,7 +267,7 @@ fn deadline_batch_closes_at_expiry_not_at_the_next_arrival() {
             config,
         )
         .unwrap();
-        let run = sim.run(&mut RoundRobin::default());
+        let run = sim.try_run(&mut RoundRobin::default()).unwrap();
         let report = &run.reports[0];
         assert_eq!(report.batches.len(), 2);
         // r0 arrives at 10, `more_arrivals` is true (r1 is still to
@@ -314,10 +319,12 @@ fn bounded_plan_cache_evicts_and_charges_compiles() {
     let policy: Arc<dyn BatchPolicy> = Arc::new(Deadline::new(4.0, 16));
 
     let run_b = ServeSim::with_cluster(Arc::clone(&cluster), Arc::clone(&policy), &trace, bounded)
-        .run(&mut RoundRobin::default());
+        .try_run(&mut RoundRobin::default())
+        .unwrap();
     let run_u =
         ServeSim::with_cluster(Arc::clone(&cluster), Arc::clone(&policy), &trace, unbounded)
-            .run(&mut RoundRobin::default());
+            .try_run(&mut RoundRobin::default())
+            .unwrap();
 
     let mut evictions = 0;
     for (report_b, report_u) in run_b.reports.iter().zip(&run_u.reports) {
@@ -380,7 +387,7 @@ fn admission_controller_replaces_then_rejects() {
     let replace =
         EngineConfig::default().with_cache_budget(CacheBudget::PerShard(vec![1, 8 * max_plan]));
     let sim = ServeSim::with_cluster(Arc::clone(&cluster), Arc::new(Immediate), &trace, replace);
-    let run = sim.run(&mut RoundRobin::default());
+    let run = sim.try_run(&mut RoundRobin::default()).unwrap();
     assert!(run.rejected.is_empty(), "shard 1 admits every plan");
     assert_eq!(run.reports[0].requests.len(), 0, "shard 0 admits nothing");
     assert_eq!(run.reports[1].requests.len(), trace.len());
@@ -388,7 +395,7 @@ fn admission_controller_replaces_then_rejects() {
     // No shard can hold any plan: everything is rejected, loudly.
     let reject = EngineConfig::default().with_cache_budget(CacheBudget::Uniform(1));
     let sim = ServeSim::with_cluster(Arc::clone(&cluster), Arc::new(Immediate), &trace, reject);
-    let run = sim.run(&mut RoundRobin::default());
+    let run = sim.try_run(&mut RoundRobin::default()).unwrap();
     assert_eq!(run.rejected.len(), trace.len());
     let outcome = sim.outcome(&run);
     assert_eq!(outcome.requests, 0);
@@ -424,7 +431,7 @@ fn edf_deadline_miss_accounting_reconciles() {
         EngineConfig::default(),
     );
     assert_eq!(sim.config().admission, Admission::Online);
-    let run = sim.run(&mut RoundRobin::default());
+    let run = sim.try_run(&mut RoundRobin::default()).unwrap();
     let outcome = sim.outcome(&run);
 
     let recounted: u64 = run
@@ -478,8 +485,8 @@ fn bounded_edf_runs_are_bit_identical_across_repeats() {
         &trace,
         config,
     );
-    let a = sim.run(&mut sma::runtime::serve::LeastBacklog);
-    let b = sim.run(&mut sma::runtime::serve::LeastBacklog);
+    let a = sim.try_run(&mut sma::runtime::serve::LeastBacklog).unwrap();
+    let b = sim.try_run(&mut sma::runtime::serve::LeastBacklog).unwrap();
     assert_eq!(a.rejected.len(), b.rejected.len());
     for (x, y) in a.reports.iter().zip(&b.reports) {
         assert_eq!(x.busy_ms.to_bits(), y.busy_ms.to_bits());

@@ -79,7 +79,7 @@ proptest! {
             EngineConfig::default(),
         )
         .unwrap();
-        let run = sim.run(placement_for(placement_sel).as_mut());
+        let run = sim.try_run(placement_for(placement_sel).as_mut()).unwrap();
         prop_assert!(run.rejected.is_empty(), "unbounded cache rejects nothing");
 
         // The batch partition conserves the trace: every request served
@@ -186,7 +186,7 @@ fn serve_batches_are_bit_identical_to_direct_executor_runs() {
         EngineConfig::default(),
     )
     .unwrap();
-    let run = sim.run(&mut RoundRobin::default());
+    let run = sim.try_run(&mut RoundRobin::default()).unwrap();
 
     let mut seen: BTreeSet<(usize, usize, u64)> = BTreeSet::new();
     let mut checked = 0usize;
