@@ -1,0 +1,66 @@
+//! Threaded live-serving benchmark with the discrete-event engine as
+//! its oracle.
+//!
+//! Runs a knob-sized seeded trace through the threaded serving twin
+//! ([`sma_runtime::serve::LiveServer`]) for every timing-robust
+//! policy × placement combo, replays each run's realized arrival
+//! trace through the discrete-event engine, and writes the
+//! side-by-side report to `BENCH_live.json` (wall-clock latencies —
+//! an uploaded artifact, never a committed one).
+//!
+//! Exit codes: 0 when every combo's discrete outcomes agree exactly
+//! with its replay, 1 on a divergence or a failed run, 2 on a
+//! malformed knob.
+//!
+//! Environment:
+//! * `SMA_LIVE_REQUESTS` — trace length (default 400).
+//! * `SMA_LIVE_TIME_SCALE` — wall-ms per simulated ms (default 0.02).
+//! * `SMA_LIVE_MODE` — `open` (default) or `closed`.
+//! * `SMA_LIVE_SHAPE` — `steady` (default), `bursty` or `diurnal`.
+//! * `SMA_LIVE_JSON` — report path (default `BENCH_live.json`).
+//! * `SMA_SERVE_SEED` — trace seed (default `0xDAC2_0020`, shared
+//!   with `serve_sim` so the two benchmarks stress the same stream).
+
+use sma_bench::live::{run_live, LiveOptions};
+
+fn main() {
+    let options = LiveOptions {
+        requests: sma_bench::knobs::live_requests(),
+        seed: sma_bench::knobs::serve_seed(),
+        time_scale: sma_bench::knobs::live_time_scale(),
+        mode: sma_bench::knobs::live_mode(),
+        shape: sma_bench::knobs::live_shape(),
+    };
+    println!(
+        "live-serving {} requests (seed {:#x}) at time scale {} ({} loop, {} shape)",
+        options.requests, options.seed, options.time_scale, options.mode, options.shape
+    );
+
+    let report = match run_live(&options) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("live benchmark failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    for line in report.summary_lines() {
+        println!("{line}");
+    }
+
+    let path = sma_bench::knobs::live_json_path();
+    match report.write_json(&path) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => {
+            // CI uploads the report as an artifact; a missing file
+            // must fail the build.
+            eprintln!("could not write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    if !report.all_agree() {
+        eprintln!("live/replay discrete outcomes DIVERGED — see {path}");
+        std::process::exit(1);
+    }
+    println!("oracle check: every live combo matches its discrete-event replay exactly");
+}

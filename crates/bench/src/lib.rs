@@ -15,6 +15,7 @@
 
 pub mod experiments;
 pub mod knobs;
+pub mod live;
 pub mod serve;
 pub mod sweep;
 pub mod table;

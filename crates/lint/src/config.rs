@@ -12,9 +12,17 @@
 //! [crate.sma-bench]      # per-crate overrides (highest precedence)
 //! no-panic = "warn"
 //!
-//! [rule.env-read]        # rule options
+//! [rule.env-read]        # per-rule sanctioned files
 //! sanctioned = ["knobs.rs"]   # files where env reads are allowed
+//!
+//! [rule.wallclock]
+//! sanctioned = ["crates/runtime/src/serve/live.rs"]
 //! ```
+//!
+//! Every rule accepts a `sanctioned` list: entries are either bare
+//! file names (any file so named, anywhere — how the one-knobs-module-
+//! per-crate convention is spelled) or `/`-separated path suffixes
+//! (pinning one exact module, as the wall-clock carve-out does).
 //!
 //! Unknown rule ids and malformed lines are hard errors: a typo in the
 //! policy must fail the gate, not silently allow.
@@ -30,8 +38,10 @@ pub struct Config {
     pub default: BTreeMap<String, Severity>,
     /// Per-crate severity overrides, by crate name then rule id.
     pub crates: BTreeMap<String, BTreeMap<String, Severity>>,
-    /// File names (e.g. `knobs.rs`) where `env-read` is sanctioned.
-    pub env_sanctioned_files: Vec<String>,
+    /// Per-rule sanctioned files, by rule id. Each entry is a bare
+    /// file name or a `/`-separated path suffix; a matching file is
+    /// exempt from that one rule (and no other).
+    pub sanctioned: BTreeMap<String, Vec<String>>,
 }
 
 impl Config {
@@ -51,6 +61,24 @@ impl Config {
             .iter()
             .find(|r| r.id == rule)
             .map_or(Severity::Deny, |r| r.default_severity)
+    }
+
+    /// Whether `rule` is waived for the file at `rel_path` (with file
+    /// name `file_name`). An entry matches when it equals the bare
+    /// file name, equals the whole relative path, or is a `/`-suffix
+    /// of it — so `knobs.rs` sanctions every knobs module while
+    /// `crates/runtime/src/serve/live.rs` pins exactly one file.
+    #[must_use]
+    pub fn is_sanctioned(&self, rule: &str, rel_path: &str, file_name: &str) -> bool {
+        self.sanctioned.get(rule).is_some_and(|entries| {
+            entries.iter().any(|entry| {
+                entry == file_name
+                    || rel_path == entry
+                    || rel_path
+                        .strip_suffix(entry.as_str())
+                        .is_some_and(|prefix| prefix.ends_with('/'))
+            })
+        })
     }
 
     /// Parses the policy file, validating every rule id.
@@ -100,9 +128,21 @@ impl Config {
                         .or_default()
                         .insert(rule, severity);
                 }
-            } else if section == "rule.env-read" && key == "sanctioned" {
-                config.env_sanctioned_files = parse_string_list(value)
+            } else if let Some(rule) = section.strip_prefix("rule.") {
+                let rule = rule.trim_matches('"');
+                if !RULES.iter().any(|r| r.id == rule) {
+                    return Err(format!(
+                        "lint.toml:{at}: unknown rule `{rule}` in [{section}]"
+                    ));
+                }
+                if key != "sanctioned" {
+                    return Err(format!(
+                        "lint.toml:{at}: unknown option `{key}` in [{section}]"
+                    ));
+                }
+                let files = parse_string_list(value)
                     .ok_or_else(|| format!("lint.toml:{at}: expected a string list"))?;
+                config.sanctioned.insert(rule.to_string(), files);
             } else {
                 return Err(format!(
                     "lint.toml:{at}: unknown option `{key}` in [{section}]"
@@ -175,6 +215,39 @@ mod tests {
             "# policy\n[rule.env-read]\nsanctioned = [\"knobs.rs\", \"other.rs\"] # files\n",
         )
         .expect("parses");
-        assert_eq!(config.env_sanctioned_files, ["knobs.rs", "other.rs"]);
+        assert_eq!(
+            config.sanctioned.get("env-read").map(Vec::as_slice),
+            Some(["knobs.rs".to_string(), "other.rs".to_string()].as_slice())
+        );
+    }
+
+    #[test]
+    fn sanctioned_lists_are_per_rule() {
+        let config = Config::parse(
+            "[rule.env-read]\nsanctioned = [\"knobs.rs\"]\n\
+             [rule.wallclock]\nsanctioned = [\"crates/runtime/src/serve/live.rs\"]\n",
+        )
+        .expect("parses");
+        // Bare file name: matches any file so named.
+        assert!(config.is_sanctioned("env-read", "crates/bench/src/knobs.rs", "knobs.rs"));
+        assert!(config.is_sanctioned("env-read", "other/src/knobs.rs", "knobs.rs"));
+        // A sanction for one rule never bleeds into another.
+        assert!(!config.is_sanctioned("wallclock", "crates/bench/src/knobs.rs", "knobs.rs"));
+        // Path suffix: pins exactly one module.
+        assert!(config.is_sanctioned("wallclock", "crates/runtime/src/serve/live.rs", "live.rs"));
+        assert!(!config.is_sanctioned("wallclock", "crates/bench/src/live.rs", "live.rs"));
+        // A suffix must align on a path component, not a substring.
+        assert!(!config.is_sanctioned(
+            "wallclock",
+            "crates/runtime/src/serve/not_live.rs",
+            "not_live.rs"
+        ));
+    }
+
+    #[test]
+    fn sanctioned_for_unknown_rule_or_option_is_an_error() {
+        assert!(Config::parse("[rule.no-such-rule]\nsanctioned = [\"x.rs\"]\n").is_err());
+        assert!(Config::parse("[rule.wallclock]\nfiles = [\"x.rs\"]\n").is_err());
+        assert!(Config::parse("[rule.wallclock]\nsanctioned = \"x.rs\"\n").is_err());
     }
 }

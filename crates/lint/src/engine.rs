@@ -60,7 +60,7 @@ pub fn lint_workspace(root: &Path, config: &Config) -> io::Result<Report> {
 ///
 /// This is the unit the fixture tests drive: `crate_name` picks the
 /// `lint.toml` severity column, `rel_path` is used for display and for
-/// the `env-read` sanctioned-file check.
+/// the per-rule sanctioned-file check ([`Config::is_sanctioned`]).
 #[must_use]
 pub fn lint_source(
     crate_name: &str,
@@ -78,7 +78,6 @@ pub fn lint_source(
     let file_name = Path::new(rel_path)
         .file_name()
         .map_or(String::new(), |n| n.to_string_lossy().into_owned());
-    let env_sanctioned = config.env_sanctioned_files.iter().any(|f| f == &file_name);
 
     let mut findings = Vec::new();
     let mut suppressed = Vec::new();
@@ -89,7 +88,7 @@ pub fn lint_source(
         if severity == Severity::Allow {
             continue;
         }
-        if rule.id == "env-read" && env_sanctioned {
+        if config.is_sanctioned(rule.id, rel_path, &file_name) {
             continue;
         }
         for raw in (rule.check)(&lexed.toks) {
@@ -349,10 +348,10 @@ mod tests {
 
     #[test]
     fn env_read_sanctioned_file_is_exempt() {
-        let config = Config {
-            env_sanctioned_files: vec!["knobs.rs".into()],
-            ..Config::default()
-        };
+        let mut config = Config::default();
+        config
+            .sanctioned
+            .insert("env-read".into(), vec!["knobs.rs".into()]);
         let src = "pub fn threads() -> usize { std::env::var(\"SMA_T\").ok().and_then(|v| v.parse().ok()).unwrap_or(1) }";
         let (findings, _) = lint_source("sma-bench", "crates/bench/src/knobs.rs", src, &config);
         assert!(
@@ -361,6 +360,37 @@ mod tests {
         );
         let (findings, _) = lint_source("sma-bench", "crates/bench/src/sweep.rs", src, &config);
         assert!(findings.iter().any(|f| f.rule == "env-read"));
+    }
+
+    #[test]
+    fn sanctioned_file_is_exempt_from_that_rule_only() {
+        let mut config = Config::default();
+        config.sanctioned.insert(
+            "wallclock".into(),
+            vec!["crates/runtime/src/serve/live.rs".into()],
+        );
+        let src = "fn f() { let t = Instant::now(); let m: HashMap<u32, u32> = HashMap::new(); }";
+        let (findings, _) = lint_source(
+            "sma-runtime",
+            "crates/runtime/src/serve/live.rs",
+            src,
+            &config,
+        );
+        // The wall-clock read is sanctioned for this one file...
+        assert!(
+            findings.iter().all(|f| f.rule != "wallclock"),
+            "{findings:?}"
+        );
+        // ...but the hash-collection finding still stands.
+        assert!(findings.iter().any(|f| f.rule == "hash-collection"));
+        // And the same source anywhere else keeps the wallclock finding.
+        let (findings, _) = lint_source(
+            "sma-runtime",
+            "crates/runtime/src/serve/engine.rs",
+            src,
+            &config,
+        );
+        assert!(findings.iter().any(|f| f.rule == "wallclock"));
     }
 
     #[test]

@@ -229,7 +229,7 @@ pub struct ServeRun {
 /// Capacity-bounded LRU over simulated plan residency, keyed on
 /// `(network, batch)`.
 #[derive(Debug)]
-struct PlanCache {
+pub(super) struct PlanCache {
     budget: Option<u64>,
     /// `(bytes, last_use)` per resident plan; `last_use` ticks are
     /// unique, so the LRU victim is always unambiguous.
@@ -240,7 +240,7 @@ struct PlanCache {
 }
 
 impl PlanCache {
-    fn new(budget: Option<u64>) -> Self {
+    pub(super) fn new(budget: Option<u64>) -> Self {
         PlanCache {
             budget,
             entries: BTreeMap::new(),
@@ -252,7 +252,7 @@ impl PlanCache {
 
     /// Whether a plan is resident right now (no stats side effects —
     /// the transient-compile-fail gate peeks without billing).
-    fn contains(&self, key: &(usize, usize)) -> bool {
+    pub(super) fn contains(&self, key: &(usize, usize)) -> bool {
         self.entries.contains_key(key)
     }
 
@@ -263,7 +263,7 @@ impl PlanCache {
     /// controller keeps such requests out under [`Admission::Online`],
     /// so this only arises when a caller opts out of admission
     /// control).
-    fn access(&mut self, key: (usize, usize), bytes: u64, compile_ms: f64) -> f64 {
+    pub(super) fn access(&mut self, key: (usize, usize), bytes: u64, compile_ms: f64) -> f64 {
         self.stats.lookups += 1;
         self.tick += 1;
         if let Some((_, last_use)) = self.entries.get_mut(&key) {
@@ -295,7 +295,13 @@ impl PlanCache {
         compile_ms
     }
 
-    fn into_stats(mut self) -> PlanCacheStats {
+    /// Bytes currently resident (the live gauge behind
+    /// [`ClusterView::resident_plan_bytes`](super::ClusterView)).
+    pub(super) fn resident_bytes(&self) -> u64 {
+        self.resident_bytes
+    }
+
+    pub(super) fn into_stats(mut self) -> PlanCacheStats {
         self.stats.resident_bytes = self.resident_bytes;
         self.stats
     }

@@ -39,6 +39,12 @@
 //!   class (see `docs/FAULT_TOLERANCE.md`). An empty plan — the
 //!   default — leaves the engine byte-identical to the fault-free
 //!   path.
+//! * **A threaded live twin** ([`LiveServer`]): the same cluster,
+//!   policy and placement run as real threads fed over MPSC queues,
+//!   paced onto wall-clock time; every run records its realized
+//!   arrival trace, and [`replay`] + [`discrete_outcomes`] check the
+//!   live run against the discrete-event engine as an oracle (see
+//!   `docs/LIVE_SERVING.md`).
 //!
 //! ```
 //! use sma_models::zoo;
@@ -73,27 +79,33 @@
 
 mod engine;
 mod fault;
+mod live;
 mod load;
 mod metrics;
+mod oracle;
 mod placement;
 mod policy;
 mod slo;
+mod transport;
 
 pub use engine::{Admission, CacheBudget, EngineConfig, ServeRun};
 pub use fault::{
     ClassFaultStats, FaultEvent, FaultKind, FaultMix, FaultPlan, HedgePolicy, RetryPolicy,
     ShardFaultStats, ShedPolicy,
 };
-pub use load::{LoadGenerator, Request, SeededRng};
+pub use live::{LiveConfig, LiveError, LiveMode, LiveReport, LiveServer};
+pub use load::{LoadGenerator, LoadShape, Request, SeededRng};
 pub use metrics::{
     aggregate, percentile_ms, ClassSummary, PlanCacheStats, ServeOutcome, ShardSummary,
 };
+pub use oracle::{diff_outcomes, discrete_outcomes, replay, DiscreteOutcomes};
 pub use placement::{
     ClusterView, HealthWeighted, LeastBacklog, LeastOutstanding, Placement, PlatformAffinity,
     RoundRobin,
 };
 pub use policy::{BatchPolicy, Deadline, Immediate, PolicyDecision, SizeK};
 pub use slo::EarliestDeadlineFirst;
+pub use transport::TransportModel;
 
 use crate::backend::RuntimeError;
 use crate::executor::Executor;
