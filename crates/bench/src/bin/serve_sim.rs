@@ -21,7 +21,10 @@
 //! engine under seeded crash/degrade/stall/compile-fail schedules with
 //! retry, hedging, failover and class-striped shedding — equally
 //! deterministic (the chaos CI step double-runs with a nonzero fault
-//! rate and diffs).
+//! rate and diffs). A control block follows: SLO-class preemption,
+//! cost-aware autoscaling against the energy frontier, and
+//! traffic-mix backend reconfiguration, in every combination over the
+//! same EDF × health-weighted cell.
 //!
 //! Environment:
 //! * `SMA_SERVE_REQUESTS` — trace length (default 10000).
@@ -36,6 +39,13 @@
 //!   block (default 2.0; 0 empties the schedules).
 //! * `SMA_SERVE_HEDGE_MS` — hedge delay of the `retry+hedge` rows
 //!   (default: p99 of the batch-1 service cells).
+//! * `SMA_SERVE_SCALE_PERIOD_MS` — autoscaler evaluation period of the
+//!   control block (default: 8 mean interarrival gaps).
+//! * `SMA_SERVE_SCALE_HEADROOM` — energy headroom of the autoscaled
+//!   control rows (default 0.25; 0 disables the autoscaler — those
+//!   rows then match the static fleet bit for bit).
+//! * `SMA_SERVE_PREEMPT` — SLO-class gap of the preemption control
+//!   rows (default 1; 0 clamps to 1).
 //! * `SMA_SERVE_JSON` — report path (default: `BENCH_serve.json`).
 //! * `SMA_SWEEP_THREADS` — worker threads across combos (default:
 //!   available parallelism).
@@ -52,6 +62,9 @@ fn main() {
         fault_seed: sma_bench::knobs::serve_fault_seed(),
         fault_rate: sma_bench::knobs::serve_fault_rate(),
         hedge_ms: sma_bench::knobs::serve_hedge_ms(),
+        scale_period_ms: sma_bench::knobs::serve_scale_period_ms(),
+        scale_headroom: sma_bench::knobs::serve_scale_headroom(),
+        preempt_gap: sma_bench::knobs::serve_preempt_gap(),
     };
     let threads = sweep::default_threads();
 

@@ -155,6 +155,41 @@ pub fn serve_hedge_ms() -> Option<f64> {
     opt("SMA_SERVE_HEDGE_MS")
 }
 
+/// Autoscaler evaluation period of the control block in simulated
+/// milliseconds: `SMA_SERVE_SCALE_PERIOD_MS`, default derived (8 mean
+/// interarrival gaps). Must be positive and finite when set.
+#[must_use]
+pub fn serve_scale_period_ms() -> Option<f64> {
+    let period = opt::<f64>("SMA_SERVE_SCALE_PERIOD_MS");
+    if let Some(period) = period {
+        if !(period > 0.0 && period.is_finite()) {
+            abort(&format!(
+                "SMA_SERVE_SCALE_PERIOD_MS={period} is malformed (must be a positive finite number)"
+            ));
+        }
+    }
+    period
+}
+
+/// Energy headroom of the control block's autoscaled rows:
+/// `SMA_SERVE_SCALE_HEADROOM`, default 0.25. Zero (or negative)
+/// disables the autoscaler — those rows then match the static fleet
+/// bit for bit.
+#[must_use]
+pub fn serve_scale_headroom() -> Option<f64> {
+    opt("SMA_SERVE_SCALE_HEADROOM")
+}
+
+/// SLO-class gap of the control block's preemption rows:
+/// `SMA_SERVE_PREEMPT`, default 1 (an arriving request preempts a
+/// running batch whose most urgent member is at least this many
+/// classes less urgent). Zero is clamped to 1 by the policy — equal
+/// classes never preempt each other.
+#[must_use]
+pub fn serve_preempt_gap() -> Option<u8> {
+    opt("SMA_SERVE_PREEMPT")
+}
+
 /// Trace length for `live_serve`: `SMA_LIVE_REQUESTS`, default 400,
 /// floored at 1. Deliberately smaller than the `serve_sim` default —
 /// live runs occupy wall-clock time.
@@ -372,6 +407,44 @@ mod tests {
             assert_eq!(super::serve_hedge_ms(), Some(3.5));
         });
         assert_malformed::<f64>("SMA_SERVE_HEDGE_MS", "p99");
+    }
+
+    #[test]
+    fn serve_scale_period_knob() {
+        with_env("SMA_SERVE_SCALE_PERIOD_MS", None, || {
+            assert_eq!(super::serve_scale_period_ms(), None)
+        });
+        with_env("SMA_SERVE_SCALE_PERIOD_MS", Some("25.0"), || {
+            assert_eq!(super::serve_scale_period_ms(), Some(25.0));
+        });
+        assert_malformed::<f64>("SMA_SERVE_SCALE_PERIOD_MS", "fast");
+    }
+
+    #[test]
+    fn serve_scale_headroom_knob() {
+        with_env("SMA_SERVE_SCALE_HEADROOM", None, || {
+            assert_eq!(super::serve_scale_headroom(), None)
+        });
+        with_env("SMA_SERVE_SCALE_HEADROOM", Some("0.5"), || {
+            assert_eq!(super::serve_scale_headroom(), Some(0.5));
+        });
+        // Zero is well-formed: it disables the autoscaler (the rows
+        // then match the static fleet bit for bit).
+        with_env("SMA_SERVE_SCALE_HEADROOM", Some("0"), || {
+            assert_eq!(super::serve_scale_headroom(), Some(0.0));
+        });
+        assert_malformed::<f64>("SMA_SERVE_SCALE_HEADROOM", "25%");
+    }
+
+    #[test]
+    fn serve_preempt_gap_knob() {
+        with_env("SMA_SERVE_PREEMPT", None, || {
+            assert_eq!(super::serve_preempt_gap(), None)
+        });
+        with_env("SMA_SERVE_PREEMPT", Some("2"), || {
+            assert_eq!(super::serve_preempt_gap(), Some(2));
+        });
+        assert_malformed::<u8>("SMA_SERVE_PREEMPT", "on");
     }
 
     #[test]

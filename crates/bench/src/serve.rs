@@ -2,7 +2,7 @@
 //! matrix over one seeded trace, combos fanned through the [`Sweep`]
 //! driver, results rendered into `BENCH_serve.json`.
 //!
-//! The matrix has three blocks:
+//! The matrix has four blocks:
 //!
 //! * **Legacy block** (preplaced admission, unbounded plan cache, free
 //!   compiles): the three pre-engine policies × placements, running
@@ -20,6 +20,12 @@
 //!   SLO shedding and the retry/hedge recovery policies. The fault
 //!   schedule draws from its own splitmix64 stream, so the first two
 //!   blocks stay value-identical whether or not this block exists.
+//! * **Control block**: the serve-time control plane — {static,
+//!   autoscaled fleet} × {no-preempt, SLO preemption} × {fixed
+//!   fabric, traffic-mix reconfiguration} at EDF × health-weighted,
+//!   fault-free. Every control-plane feature defaults off in
+//!   [`EngineConfig`], so the three blocks above stay value-identical
+//!   whether or not this block exists.
 //!
 //! Everything in the report comes from the **simulated** clock — no
 //! wall-clock value is ever serialised — and each combo's engine run
@@ -31,10 +37,10 @@
 use crate::sweep::{escape_json, Sweep, SweepTask};
 use sma_models::zoo;
 use sma_runtime::serve::{
-    percentile_ms, BatchPolicy, CacheBudget, Deadline, EarliestDeadlineFirst, EngineConfig,
-    FaultMix, FaultPlan, HealthWeighted, HedgePolicy, Immediate, LeastBacklog, LeastOutstanding,
-    LoadGenerator, Placement, PlatformAffinity, Request, RetryPolicy, RoundRobin, ServeCluster,
-    ServeOutcome, ServeSim, ShedPolicy, SizeK,
+    percentile_ms, AutoscalePolicy, BatchPolicy, CacheBudget, Deadline, EarliestDeadlineFirst,
+    EngineConfig, FaultMix, FaultPlan, HealthWeighted, HedgePolicy, Immediate, LeastBacklog,
+    LeastOutstanding, LoadGenerator, Placement, PlatformAffinity, PreemptPolicy, ReconfigPolicy,
+    Request, RetryPolicy, RoundRobin, ServeCluster, ServeOutcome, ServeSim, ShedPolicy, SizeK,
 };
 use sma_runtime::{Executor, Platform, RuntimeError};
 use std::fmt::Write as _;
@@ -79,6 +85,16 @@ pub struct ServeScenario {
     /// sheds when cluster-wide backlog reaches this many requests
     /// (higher classes at integer multiples of it).
     pub shed_watermark: usize,
+    /// Autoscaler evaluation period of the control block, simulated ms
+    /// (8 mean interarrival gaps by default — several arrivals per
+    /// evaluation, many evaluations per run).
+    pub scale_period_ms: f64,
+    /// Energy headroom of the control block's autoscaled rows (`0`
+    /// degenerates bit-identically to the static fleet).
+    pub scale_headroom: f64,
+    /// Minimum SLO-class gap (arriving vs running) before the control
+    /// block's preemption rows evict an in-flight batch.
+    pub preempt_gap: u8,
 }
 
 /// Overrides for the derived scenario parameters (`None` = derive from
@@ -95,6 +111,12 @@ pub struct ScenarioOptions {
     pub fault_rate: Option<f64>,
     /// Hedge delay of the `retry+hedge` rows, ms.
     pub hedge_ms: Option<f64>,
+    /// Autoscaler evaluation period of the control block, ms.
+    pub scale_period_ms: Option<f64>,
+    /// Energy headroom of the control block's autoscaled rows.
+    pub scale_headroom: Option<f64>,
+    /// SLO-class gap of the control block's preemption rows.
+    pub preempt_gap: Option<u8>,
 }
 
 /// Mean batch-1 service time over a cluster's shard × network cells,
@@ -190,6 +212,11 @@ pub fn scenario(
         .unwrap_or_else(|| percentile_ms(&unit_cells, 99.0));
     Ok(ServeScenario {
         shed_watermark: 2 * cluster.shard_count(),
+        scale_period_ms: options
+            .scale_period_ms
+            .unwrap_or(8.0 * mean_interarrival_ms),
+        scale_headroom: options.scale_headroom.unwrap_or(0.25),
+        preempt_gap: options.preempt_gap.unwrap_or(1),
         cluster,
         trace,
         seed,
@@ -263,6 +290,10 @@ pub struct ComboReport {
     pub fault: &'static str,
     /// Recovery-policy label (`none` outside the fault block).
     pub recovery: &'static str,
+    /// Control-plane label (`none` outside the control block; the
+    /// control rows spell out their feature set, e.g.
+    /// `auto+preempt+mix`).
+    pub control: &'static str,
     /// The aggregated serving metrics.
     pub outcome: ServeOutcome,
 }
@@ -352,6 +383,7 @@ impl ServeBenchReport {
             );
             let _ = writeln!(out, "      \"fault\": \"{}\",", combo.fault);
             let _ = writeln!(out, "      \"recovery\": \"{}\",", combo.recovery);
+            let _ = writeln!(out, "      \"control\": \"{}\",", combo.control);
             let _ = writeln!(out, "      \"requests\": {},", o.requests);
             let _ = writeln!(out, "      \"rejected\": {},", o.rejected);
             let _ = writeln!(out, "      \"shed\": {},", o.shed);
@@ -359,6 +391,21 @@ impl ServeBenchReport {
             let _ = writeln!(out, "      \"retries\": {},", o.retries);
             let _ = writeln!(out, "      \"hedges\": {},", o.hedges);
             let _ = writeln!(out, "      \"failovers\": {},", o.failovers);
+            let _ = writeln!(out, "      \"preemptions\": {},", o.preemptions);
+            let _ = writeln!(
+                out,
+                "      \"preempted_requests\": {},",
+                o.preempted_requests
+            );
+            let _ = writeln!(out, "      \"scale_evaluations\": {},", o.scale_evaluations);
+            let _ = writeln!(out, "      \"scale_ups\": {},", o.scale_ups);
+            let _ = writeln!(out, "      \"scale_downs\": {},", o.scale_downs);
+            let _ = writeln!(out, "      \"reconfigs\": {},", o.reconfigs);
+            let _ = writeln!(
+                out,
+                "      \"reconfig_evaluations\": {},",
+                o.reconfig_evaluations
+            );
             let _ = writeln!(out, "      \"downtime_ms\": {:.6},", o.downtime_ms);
             let _ = writeln!(out, "      \"p50_ms\": {:.6},", o.p50_ms);
             let _ = writeln!(out, "      \"p99_ms\": {:.6},", o.p99_ms);
@@ -390,7 +437,7 @@ impl ServeBenchReport {
                 let comma = if j + 1 == o.shards.len() { "" } else { "," };
                 let _ = writeln!(
                     out,
-                    "        {{\"shard\": {}, \"platform\": \"{}\", \"requests\": {}, \"batches\": {}, \"busy_ms\": {:.6}, \"utilization\": {:.6}, \"deadline_misses\": {}, \"queue_depth_mean\": {:.6}, \"queue_depth_max\": {}, \"cache_evictions\": {}, \"cache_peak_bytes\": {}, \"crashes\": {}, \"downtime_ms\": {:.6}, \"retries\": {}, \"hedges\": {}, \"failovers\": {}}}{comma}",
+                    "        {{\"shard\": {}, \"platform\": \"{}\", \"requests\": {}, \"batches\": {}, \"busy_ms\": {:.6}, \"utilization\": {:.6}, \"deadline_misses\": {}, \"queue_depth_mean\": {:.6}, \"queue_depth_max\": {}, \"cache_evictions\": {}, \"cache_peak_bytes\": {}, \"crashes\": {}, \"downtime_ms\": {:.6}, \"retries\": {}, \"hedges\": {}, \"failovers\": {}, \"preemptions\": {}}}{comma}",
                     shard.shard,
                     escape_json(shard.platform),
                     shard.requests,
@@ -407,6 +454,7 @@ impl ServeBenchReport {
                     shard.fault.retries,
                     shard.fault.hedges,
                     shard.fault.failovers,
+                    shard.fault.preemptions,
                 );
             }
             out.push_str("      ],\n      \"classes\": [\n");
@@ -414,11 +462,12 @@ impl ServeBenchReport {
                 let comma = if j + 1 == o.classes.len() { "" } else { "," };
                 let _ = writeln!(
                     out,
-                    "        {{\"class\": {}, \"served\": {}, \"shed\": {}, \"failed\": {}, \"deadline_misses\": {}, \"retries\": {}, \"hedges\": {}, \"failovers\": {}}}{comma}",
+                    "        {{\"class\": {}, \"served\": {}, \"shed\": {}, \"failed\": {}, \"preempted\": {}, \"deadline_misses\": {}, \"retries\": {}, \"hedges\": {}, \"failovers\": {}}}{comma}",
                     class.class,
                     class.served,
                     class.shed,
                     class.failed,
+                    class.preempted,
                     class.deadline_misses,
                     class.retries,
                     class.hedges,
@@ -494,6 +543,7 @@ struct ComboSpec {
     cache_budget: String,
     fault: &'static str,
     recovery: &'static str,
+    control: &'static str,
     config: EngineConfig,
 }
 
@@ -501,8 +551,10 @@ struct ComboSpec {
 /// under [`EngineConfig::legacy`], the online block under an unbounded
 /// and a bounded plan cache, then the fault block ({no-fault,
 /// crash-heavy, degrade-heavy} × {retry, retry+hedge} under the EDF
-/// policy and health-weighted placement) — fanning the combos across
-/// `threads` sweep workers. Each combo's engine run is
+/// policy and health-weighted placement), then the control block
+/// ({static, autoscaled} × {no-preempt, preempt} × {fixed,
+/// traffic-mix reconfig}, fault-free, same EDF × health-weighted
+/// cell) — fanning the combos across `threads` sweep workers. Each combo's engine run is
 /// single-threaded, so the thread count affects wall-clock only, never
 /// a value.
 ///
@@ -530,6 +582,7 @@ pub fn run_matrix(
                 cache_budget: CacheBudget::Unbounded.label(),
                 fault: "none",
                 recovery: "none",
+                control: "none",
                 config: EngineConfig::legacy(),
             });
         }
@@ -552,6 +605,7 @@ pub fn run_matrix(
                     cache_budget: budget.label(),
                     fault: "none",
                     recovery: "none",
+                    control: "none",
                     config: config.clone(),
                 });
             }
@@ -622,9 +676,55 @@ pub fn run_matrix(
                 cache_budget: CacheBudget::Unbounded.label(),
                 fault: fault_label,
                 recovery: recovery_label,
+                control: "none",
                 config,
             });
         }
+    }
+    // Control block: the serve-time control plane at EDF ×
+    // health-weighted, fault-free — {static, autoscaled} ×
+    // {no-preempt, preempt} × {fixed fabric, traffic-mix reconfig}.
+    // Every feature here defaults off in EngineConfig, so the three
+    // blocks above never see these code paths.
+    let autoscale = AutoscalePolicy {
+        period_ms: scenario.scale_period_ms,
+        high_watermark: 3.0,
+        low_watermark: 0.5,
+        hysteresis_ticks: 3,
+        min_active: 2,
+        energy_headroom: scenario.scale_headroom,
+    };
+    let control_rows: [(&'static str, bool, bool, bool); 8] = [
+        ("static", false, false, false),
+        ("static+preempt", false, true, false),
+        ("static+mix", false, false, true),
+        ("static+preempt+mix", false, true, true),
+        ("auto", true, false, false),
+        ("auto+preempt", true, true, false),
+        ("auto+mix", true, false, true),
+        ("auto+preempt+mix", true, true, true),
+    ];
+    for (control_label, auto, preempt, mix) in control_rows {
+        let mut config = EngineConfig::default().with_compile_cost(scenario.compile_ms_per_layer);
+        if auto {
+            config = config.with_scale(autoscale);
+        }
+        if preempt {
+            config = config.with_preempt(PreemptPolicy::new(scenario.preempt_gap));
+        }
+        if mix {
+            config = config.with_reconfig(ReconfigPolicy::default());
+        }
+        specs.push(ComboSpec {
+            policy: Arc::clone(&edf),
+            placement: || Box::new(HealthWeighted),
+            admission: "online",
+            cache_budget: CacheBudget::Unbounded.label(),
+            fault: "none",
+            recovery: "none",
+            control: control_label,
+            config,
+        });
     }
 
     type Slot = Option<Result<ComboReport, RuntimeError>>;
@@ -639,13 +739,14 @@ pub fn run_matrix(
         let trace = Arc::clone(&shared_trace);
         let slots = Arc::clone(&slots);
         let name = format!(
-            "serve/{}x{}@{}-{}-{}-{}",
+            "serve/{}x{}@{}-{}-{}-{}-{}",
             spec.policy.label(),
             (spec.placement)().label(),
             spec.admission,
             spec.cache_budget,
             spec.fault,
             spec.recovery,
+            spec.control,
         );
         sweep.push(SweepTask::new(name, move || {
             let sim = ServeSim::with_cluster(
@@ -665,6 +766,7 @@ pub fn run_matrix(
                         cache_budget: spec.cache_budget.clone(),
                         fault: spec.fault,
                         recovery: spec.recovery,
+                        control: spec.control,
                         outcome,
                     })
                 }
@@ -731,8 +833,8 @@ mod tests {
     fn matrix_covers_all_blocks_and_reconciles_every_request() {
         let report = run_matrix(&tiny_scenario(), 4).expect("matrix runs");
         // 9 legacy + 4 policies x 2 placements x 2 budgets + 3 faults
-        // x 2 recovery policies.
-        assert_eq!(report.combos.len(), 31);
+        // x 2 recovery policies + 8 control-plane rows.
+        assert_eq!(report.combos.len(), 39);
         assert!(report.combos.iter().all(|c| {
             let o = &c.outcome;
             o.requests + o.rejected + o.shed + o.failed == 150
@@ -749,6 +851,8 @@ mod tests {
             .filter(|c| c.recovery != "none")
             .count();
         assert_eq!(fault_rows, 6);
+        let control_rows = report.combos.iter().filter(|c| c.control != "none").count();
+        assert_eq!(control_rows, 8);
         let labels: std::collections::BTreeSet<(String, String, String, String, String)> = report
             .combos
             .iter()
@@ -758,11 +862,11 @@ mod tests {
                     c.placement.clone(),
                     c.admission.to_string(),
                     c.cache_budget.clone(),
-                    format!("{}-{}", c.fault, c.recovery),
+                    format!("{}-{}-{}", c.fault, c.recovery, c.control),
                 )
             })
             .collect();
-        assert_eq!(labels.len(), 31, "every combo labelled distinctly");
+        assert_eq!(labels.len(), 39, "every combo labelled distinctly");
         // The legacy block compiles for free and never evicts.
         for combo in report.combos.iter().filter(|c| c.admission == "preplaced") {
             assert_eq!(combo.outcome.cache.evictions, 0);
@@ -796,6 +900,14 @@ mod tests {
             "\"cache_budget\"",
             "\"fault\"",
             "\"recovery\"",
+            "\"control\"",
+            "\"preemptions\"",
+            "\"preempted_requests\"",
+            "\"scale_evaluations\"",
+            "\"scale_ups\"",
+            "\"scale_downs\"",
+            "\"reconfigs\"",
+            "\"preempted\"",
             "\"p50_ms\"",
             "\"p99_ms\"",
             "\"p999_ms\"",
@@ -849,6 +961,64 @@ mod tests {
             .iter()
             .filter(|c| c.admission == "online")
             .any(|c| c.outcome.shards.iter().any(|s| s.cache.peak_bytes > 0)));
+    }
+
+    #[test]
+    fn control_rows_surface_control_plane_activity() {
+        let report = run_matrix(&tiny_scenario(), 4).expect("matrix runs");
+        let control: Vec<_> = report
+            .combos
+            .iter()
+            .filter(|c| c.control != "none")
+            .collect();
+        assert_eq!(control.len(), 8);
+        for combo in &control {
+            assert_eq!(combo.fault, "none");
+            assert_eq!(combo.recovery, "none");
+            let o = &combo.outcome;
+            let has = |needle: &str| combo.control.split('+').any(|part| part == needle);
+            // A feature that is off leaves its counters at zero.
+            if !has("preempt") {
+                assert_eq!(o.preemptions, 0, "{}", combo.control);
+                assert_eq!(o.preempted_requests, 0, "{}", combo.control);
+            }
+            if !has("auto") {
+                assert_eq!(o.scale_evaluations, 0, "{}", combo.control);
+                assert_eq!(o.scale_ups + o.scale_downs, 0, "{}", combo.control);
+            }
+            if !has("mix") {
+                assert_eq!(o.reconfigs, 0, "{}", combo.control);
+                assert_eq!(o.reconfig_evaluations, 0, "{}", combo.control);
+            }
+        }
+        // The features that are on actually fire under the default
+        // trace: strict SLO classes preempt, and the traffic mix
+        // re-pins at least one reconfigurable fabric.
+        let preemptions: u64 = control
+            .iter()
+            .filter(|c| c.control.contains("preempt"))
+            .map(|c| c.outcome.preemptions)
+            .sum();
+        assert!(preemptions > 0, "preemption rows preempt");
+        // The autoscaler ticks (actions additionally need sustained
+        // watermark breaches, which a well-provisioned fleet may
+        // legitimately never produce).
+        let scale_ticks: u64 = control
+            .iter()
+            .filter(|c| c.control.contains("auto"))
+            .map(|c| c.outcome.scale_evaluations)
+            .sum();
+        assert!(scale_ticks > 0, "autoscale rows evaluate their ticks");
+        // The mix windows are evaluated (an evaluation that keeps the
+        // incumbent pin is still control-plane activity — `reconfigs`
+        // counts only the evaluations that changed it, which a short
+        // trace may legitimately never do).
+        let evaluations: u64 = control
+            .iter()
+            .filter(|c| c.control.contains("mix"))
+            .map(|c| c.outcome.reconfig_evaluations)
+            .sum();
+        assert!(evaluations > 0, "traffic-mix rows evaluate their windows");
     }
 
     #[test]

@@ -1,0 +1,19 @@
+//! Negative fixture: spawn-adjacent identifiers, no thread spawn.
+
+/// `respawn` and `spawn_budget` contain the substring but are distinct
+/// identifiers; the rule must match the ident `spawn` followed by an
+/// opening paren, not a substring.
+pub fn respawn(queue: &mut Vec<u64>, spawn_budget: usize) {
+    for seq in 0..spawn_budget {
+        queue.push(seq as u64);
+    }
+}
+
+/// A field access named `spawn` with no call parens is also clean.
+pub struct Policy {
+    pub spawn: bool,
+}
+
+pub fn allows(policy: &Policy) -> bool {
+    policy.spawn
+}

@@ -1,0 +1,19 @@
+//! Positive fixture: a raw OS thread spawn in model code.
+
+/// Fanning a per-shard computation out over OS threads — the failure
+/// mode the rule exists to catch: the kernel scheduler decides the
+/// interleaving, so two runs of anything order-sensitive downstream
+/// (event sequencing, shared counters) can diverge. Model code must
+/// stay on the discrete-event engine; only the sanctioned threaded
+/// modules (the live twin, the sweep harness) may spawn.
+pub fn fan_out(shards: usize) -> usize {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..shards)
+            .map(|shard| scope.spawn(move || shard * 2))
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().unwrap_or(0))
+            .sum()
+    })
+}

@@ -1,4 +1,4 @@
-//! The rule registry: ten token-pattern rules in three families.
+//! The rule registry: eleven token-pattern rules in three families.
 //!
 //! | family | rule | guards |
 //! |---|---|---|
@@ -6,6 +6,7 @@
 //! | determinism | `hash-collection` | no `HashMap`/`HashSet` (iteration order) — `BTreeMap` or a justified keyed-only use |
 //! | determinism | `env-read` | `env::var` only inside the sanctioned `knobs` modules |
 //! | determinism | `nondet-seed` | no `thread_rng`/`from_entropy`/`RandomState`/`rand::` seeding |
+//! | determinism | `thread-spawn` | no `spawn(` outside the sanctioned threaded modules |
 //! | float-order | `partial-cmp-unwrap` | `partial_cmp().unwrap*()` chains — use `total_cmp` |
 //! | float-order | `float-eq` | `==`/`!=` against float literals — use `total_cmp`/`to_bits` |
 //! | float-order | `float-cast` | `round()/floor()/ceil()/trunc() as <int>` and float-literal `as <int>` in cost paths |
@@ -87,6 +88,14 @@ pub static RULES: &[Rule] = &[
         default_severity: Severity::Deny,
         applies_in_tests: false,
         check: check_nondet_seed,
+    },
+    Rule {
+        id: "thread-spawn",
+        family: "determinism",
+        summary: "no spawn( outside the sanctioned threaded modules — OS scheduling is nondeterministic",
+        default_severity: Severity::Deny,
+        applies_in_tests: false,
+        check: check_thread_spawn,
     },
     Rule {
         id: "partial-cmp-unwrap",
@@ -215,6 +224,21 @@ fn check_nondet_seed(toks: &[Tok]) -> Vec<RawFinding> {
                     "`{}` is nondeterministically seeded; draw from the seeded splitmix64 generator",
                     t.text
                 ),
+            });
+        }
+    }
+    out
+}
+
+fn check_thread_spawn(toks: &[Tok]) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_ident("spawn") && toks.get(i + 1).is_some_and(|n| n.is_punct("(")) {
+            out.push(RawFinding {
+                line: t.line,
+                message: "`spawn(` introduces OS-scheduled interleaving; keep model code on the \
+                          discrete-event engine (threaded modules are sanctioned in lint.toml)"
+                    .into(),
             });
         }
     }
@@ -461,7 +485,7 @@ mod tests {
                 r.id
             );
         }
-        assert_eq!(RULES.len(), 10, "ten first-class rules");
+        assert_eq!(RULES.len(), 11, "eleven first-class rules");
     }
 
     #[test]
@@ -507,6 +531,16 @@ mod tests {
         // Separate functions each take one lock: clean.
         let split = "fn f(&self) { self.m.lock(); } fn g(&self) { self.m.lock(); }";
         assert!(fire("nested-lock", split).is_empty());
+    }
+
+    #[test]
+    fn thread_spawn_requires_a_call_not_a_substring() {
+        assert_eq!(fire("thread-spawn", "std::thread::spawn(|| {});").len(), 1);
+        assert_eq!(
+            fire("thread-spawn", "scope.spawn(move || work());").len(),
+            1
+        );
+        assert!(fire("thread-spawn", "let spawn_budget = 2; respawn();").is_empty());
     }
 
     #[test]

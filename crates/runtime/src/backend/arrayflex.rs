@@ -28,7 +28,7 @@
 
 use super::{
     gpu_irregular_estimate, Backend, CacheStats, GemmCache, IrregularEstimate, IrregularWork,
-    RuntimeError,
+    Reconfigurable, RuntimeError,
 };
 use sma_core::model::{GemmEstimate, L2_REUSE_DRAM_FACTOR, LAUNCH_OVERHEAD_CYCLES};
 use sma_mem::MemStats;
@@ -303,6 +303,40 @@ impl Backend for ArrayFlexBackend {
     fn gemm_cache_len(&self) -> usize {
         self.cache.len()
     }
+
+    fn as_reconfigurable(&self) -> Option<&dyn Reconfigurable> {
+        Some(self)
+    }
+}
+
+/// The serve-time capability: the pipeline span becomes a run-time
+/// knob. Configurations index into [`PipelineConfig::ALL`].
+impl Reconfigurable for ArrayFlexBackend {
+    fn config_count(&self) -> usize {
+        PipelineConfig::ALL.len()
+    }
+
+    fn config_label(&self, config: usize) -> String {
+        format!("span{}", PipelineConfig::ALL[config].span())
+    }
+
+    fn pinned_cycles(&self, shapes: &[GemmShape], config: usize) -> u64 {
+        let pinned = PipelineConfig::ALL[config];
+        shapes
+            .iter()
+            .map(|&shape| self.model.compute_cycles(shape, pinned))
+            .sum()
+    }
+
+    fn flexible_cycles(&self, shapes: &[GemmShape]) -> u64 {
+        shapes
+            .iter()
+            .map(|&shape| {
+                self.model
+                    .compute_cycles(shape, self.model.best_config(shape))
+            })
+            .sum()
+    }
 }
 
 #[cfg(test)]
@@ -375,6 +409,29 @@ mod tests {
         let stats = backend.gemm_cache_stats();
         assert_eq!((stats.hits, stats.misses), (1, 1));
         assert_eq!(backend.gemm_cache_len(), 1);
+    }
+
+    #[test]
+    fn reconfigurable_pinning_never_beats_per_shape_selection() {
+        let backend = ArrayFlexBackend::new();
+        let rc: &dyn Reconfigurable = backend.as_reconfigurable().unwrap();
+        assert_eq!(rc.config_count(), PipelineConfig::ALL.len());
+        assert_eq!(rc.config_label(2), "span4");
+        let shapes = [
+            GemmShape::new(1, 4096, 4096), // skew-dominated: wants span 4
+            GemmShape::new(3025, 96, 363), // stream-dominated: wants span 1
+            GemmShape::new(16, 4096, 9216),
+        ];
+        let flexible = rc.flexible_cycles(&shapes);
+        for config in 0..rc.config_count() {
+            assert!(
+                rc.pinned_cycles(&shapes, config) >= flexible,
+                "pinned {config} beat the per-shape best"
+            );
+        }
+        // A mixed workload makes the dominance strict: no single span
+        // is optimal for both shapes above.
+        assert!((0..rc.config_count()).all(|c| rc.pinned_cycles(&shapes, c) > flexible));
     }
 
     #[test]

@@ -31,7 +31,7 @@
 
 use super::{
     gpu_irregular_estimate, Backend, CacheStats, GemmCache, IrregularEstimate, IrregularOp,
-    IrregularWork, RuntimeError,
+    IrregularWork, Reconfigurable, RuntimeError,
 };
 use sma_core::model::{GemmEstimate, L2_REUSE_DRAM_FACTOR, LAUNCH_OVERHEAD_CYCLES};
 use sma_mem::MemStats;
@@ -315,6 +315,43 @@ impl Backend for FlexSaBackend {
     fn gemm_cache_len(&self) -> usize {
         self.cache.len()
     }
+
+    fn as_reconfigurable(&self) -> Option<&dyn Reconfigurable> {
+        Some(self)
+    }
+}
+
+/// The serve-time capability: the tile mode becomes a run-time knob.
+/// Configurations index into [`FlexSaMode::ALL`].
+impl Reconfigurable for FlexSaBackend {
+    fn config_count(&self) -> usize {
+        FlexSaMode::ALL.len()
+    }
+
+    fn config_label(&self, config: usize) -> String {
+        match FlexSaMode::ALL[config] {
+            FlexSaMode::FullArray => "full-array".into(),
+            FlexSaMode::SubArrays => "sub-arrays".into(),
+        }
+    }
+
+    fn pinned_cycles(&self, shapes: &[GemmShape], config: usize) -> u64 {
+        let pinned = FlexSaMode::ALL[config];
+        shapes
+            .iter()
+            .map(|&shape| self.model.compute_cycles(shape, pinned))
+            .sum()
+    }
+
+    fn flexible_cycles(&self, shapes: &[GemmShape]) -> u64 {
+        shapes
+            .iter()
+            .map(|&shape| {
+                self.model
+                    .compute_cycles(shape, self.model.best_mode(shape))
+            })
+            .sum()
+    }
 }
 
 #[cfg(test)]
@@ -413,6 +450,23 @@ mod tests {
         let stats = backend.gemm_cache_stats();
         assert_eq!((stats.hits, stats.misses), (1, 1));
         assert_eq!(backend.gemm_cache_len(), 1);
+    }
+
+    #[test]
+    fn reconfigurable_pinning_never_beats_per_shape_selection() {
+        let backend = FlexSaBackend::new();
+        let rc: &dyn Reconfigurable = backend.as_reconfigurable().unwrap();
+        assert_eq!(rc.config_count(), 2);
+        assert_eq!(rc.config_label(0), "full-array");
+        assert_eq!(rc.config_label(1), "sub-arrays");
+        let shapes = [
+            GemmShape::new(1, 4096, 4096), // wants sub-arrays
+            GemmShape::new(3025, 96, 363), // wants the full array
+        ];
+        let flexible = rc.flexible_cycles(&shapes);
+        for config in 0..rc.config_count() {
+            assert!(rc.pinned_cycles(&shapes, config) >= flexible);
+        }
     }
 
     #[test]

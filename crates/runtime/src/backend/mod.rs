@@ -467,6 +467,43 @@ pub trait Backend: std::fmt::Debug + Send + Sync {
     fn gemm_cache_len(&self) -> usize {
         0
     }
+
+    /// The backend's serve-time reconfiguration capability, if it has
+    /// one (`None` for fixed-fabric architectures). Reconfigurable
+    /// backends (ArrayFlex's pipeline span, FlexSA's tile mode)
+    /// normally pick their best configuration *per GEMM shape*; the
+    /// serving engine uses this capability to instead pin one
+    /// configuration per observed traffic mix and price the pinned
+    /// penalty — see `docs/AUTOSCALING.md`.
+    fn as_reconfigurable(&self) -> Option<&dyn Reconfigurable> {
+        None
+    }
+}
+
+/// Serve-time reconfiguration: a backend whose fabric has a small,
+/// enumerable set of configurations (pipeline spans, tile modes) that
+/// normally get chosen per GEMM shape, exposed here so the serving
+/// engine can pin one per observed traffic mix instead.
+///
+/// All quantities are pure-integer compute cycles — deterministic to
+/// compare and free of float ties. `pinned_cycles` must dominate
+/// `flexible_cycles` (pinning can never beat the per-shape best), so
+/// the engine's pinned/flexible ratio is a well-defined latency
+/// penalty `>= 1`.
+pub trait Reconfigurable {
+    /// Number of selectable configurations (`>= 1`).
+    fn config_count(&self) -> usize;
+
+    /// Report label of one configuration (e.g. `span4`, `sub-arrays`).
+    fn config_label(&self, config: usize) -> String;
+
+    /// Total compute cycles for `shapes` with the fabric pinned to
+    /// `config`.
+    fn pinned_cycles(&self, shapes: &[GemmShape], config: usize) -> u64;
+
+    /// Total compute cycles for `shapes` with the fabric free to pick
+    /// the best configuration per shape (the compile-time default).
+    fn flexible_cycles(&self, shapes: &[GemmShape]) -> u64;
 }
 
 /// The seven built-in backends, constructed once on first use and

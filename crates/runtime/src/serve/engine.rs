@@ -46,8 +46,11 @@ use super::load::Request;
 use super::metrics::PlanCacheStats;
 use super::placement::{ClusterView, Placement};
 use super::policy::{BatchPolicy, PolicyDecision};
+use super::scale::{AutoscalePolicy, EnergyFrontier, ReconfigPolicy, ReconfigStats, ScaleStats};
+use super::slo::PreemptPolicy;
 use super::{BatchRecord, ServeCluster, ServedRequest, ShardReport};
 use crate::backend::RuntimeError;
+use sma_energy::EnergyModel;
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
 
@@ -131,6 +134,18 @@ pub struct EngineConfig {
     /// Opt-in admission shedding by SLO class (`None` = never shed).
     /// Online admission only.
     pub shed: Option<ShedPolicy>,
+    /// Opt-in strict-priority preemption between SLO classes (`None` =
+    /// never preempt). Online admission only.
+    pub preempt: Option<PreemptPolicy>,
+    /// Opt-in cost-aware autoscaling (`None` = static fleet). Online
+    /// admission only. A policy whose headroom is `<= 0` is inert:
+    /// no tick events are scheduled and the run stays byte-identical
+    /// to `scale: None`.
+    pub scale: Option<AutoscalePolicy>,
+    /// Opt-in serve-time backend reconfiguration (`None` = per-shape
+    /// configuration selection, the compile-time default). Only shards
+    /// whose backend implements `Reconfigurable` participate.
+    pub reconfig: Option<ReconfigPolicy>,
 }
 
 impl Default for EngineConfig {
@@ -143,6 +158,9 @@ impl Default for EngineConfig {
             retry: RetryPolicy::default(),
             hedge: None,
             shed: None,
+            preempt: None,
+            scale: None,
+            reconfig: None,
         }
     }
 }
@@ -201,6 +219,28 @@ impl EngineConfig {
         self.shed = Some(shed);
         self
     }
+
+    /// This configuration with SLO-class preemption enabled.
+    #[must_use]
+    pub fn with_preempt(mut self, preempt: PreemptPolicy) -> Self {
+        self.preempt = Some(preempt);
+        self
+    }
+
+    /// This configuration with cost-aware autoscaling enabled.
+    #[must_use]
+    pub fn with_scale(mut self, scale: AutoscalePolicy) -> Self {
+        self.scale = Some(scale);
+        self
+    }
+
+    /// This configuration with serve-time backend reconfiguration
+    /// enabled.
+    #[must_use]
+    pub fn with_reconfig(mut self, reconfig: ReconfigPolicy) -> Self {
+        self.reconfig = Some(reconfig);
+        self
+    }
 }
 
 /// Everything one engine run produced: per-shard reports (shard
@@ -224,6 +264,18 @@ pub struct ServeRun {
     pub failed: Vec<Request>,
     /// Per-SLO-class recovery counters, indexed by class.
     pub class_stats: Vec<ClassFaultStats>,
+    /// Ids whose batch a [`PreemptPolicy`] evicted at least once,
+    /// sorted. Not a fifth partition bucket — preemption re-queues, so
+    /// every preempted id still lands in exactly one of the four
+    /// buckets (preempted-then-served = this set ∩ served, pinned by
+    /// `tests/serve_scale.rs`).
+    pub preempted: Vec<u64>,
+    /// Autoscaler counters (all zero without an enabled
+    /// [`AutoscalePolicy`]).
+    pub scale: ScaleStats,
+    /// Reconfiguration counters (all zero without a
+    /// [`ReconfigPolicy`]).
+    pub reconfig: ReconfigStats,
 }
 
 /// Capacity-bounded LRU over simulated plan residency, keyed on
@@ -314,12 +366,19 @@ impl PlanCache {
 /// before a stale timer re-evaluates, and the fault family fires last:
 /// a batch completing at the exact instant of a crash completes,
 /// recovery lands before a same-instant retry re-places, and hedges go
-/// last of all.
+/// last of all. The control plane appends two fixed slots *after* the
+/// existing family — preemption decides once every same-instant
+/// completion, fault and recovery action has settled (a batch
+/// completing at the preemption instant completes), and the autoscale
+/// tick observes last of all, so no pre-existing same-instant ordering
+/// changes when the new classes are enabled.
 const CLASS_COMPLETE: u8 = 1;
 const CLASS_TIMER: u8 = 2;
 const CLASS_FAULT: u8 = 3;
 const CLASS_RETRY: u8 = 4;
 const CLASS_HEDGE: u8 = 5;
+const CLASS_PREEMPT: u8 = 6;
+const CLASS_SCALE: u8 = 7;
 
 /// What a popped event does. The payload is deliberately not part of
 /// the ordering — `(time, class, seq)` stays the total order.
@@ -350,6 +409,12 @@ enum EventKind {
     Retry { request: Request, from_shard: usize },
     /// The hedge delay of an admitted request expired.
     Hedge { request: Request, origin: usize },
+    /// An urgent arrival claimed the shard: evict the running batch of
+    /// epoch `epoch` (stale epochs — the batch completed or was
+    /// already evicted at this instant — are ignored).
+    Preempt { epoch: u64 },
+    /// The autoscaler evaluates the fleet against the energy frontier.
+    ScaleTick,
 }
 
 /// One queued engine event. Ordering is ascending `(time, class,
@@ -401,6 +466,76 @@ struct InFlightBatch {
     requests: Vec<Request>,
 }
 
+/// Per-shard reconfiguration state: the admission window and the
+/// pinned fabric configuration, priced once per run from the backend's
+/// `Reconfigurable` capability.
+///
+/// Decisions read only the shard's *admission* history (arrival-event
+/// enqueues — never retries, hedges or preemption re-queues, and never
+/// completion timing), so the pinned configuration at any point is a
+/// pure function of (trace, placement): trace-deterministic, inside
+/// the live-twin oracle's timing-robust envelope.
+struct ReconfigShard {
+    /// Sliding window of admitted network ids, newest at the back.
+    window: VecDeque<usize>,
+    window_cap: usize,
+    every: u64,
+    admissions: u64,
+    /// The currently pinned configuration index.
+    pinned: usize,
+    /// `cycles[config][network]`: whole-network compute cycles under a
+    /// pinned configuration (pure integers — no float ties).
+    cycles: Vec<Vec<u64>>,
+    /// `penalty[config][network]`: pinned service-time multiplier
+    /// relative to per-shape-best (always >= 1).
+    penalty: Vec<Vec<f64>>,
+}
+
+impl ReconfigShard {
+    /// Feeds one admission into the window; every `every` admissions,
+    /// re-pins the configuration minimising total cycles over the
+    /// window's shape histogram (ties to the lowest index).
+    fn observe(&mut self, net: usize, stats: &mut ReconfigStats) {
+        self.window.push_back(net);
+        if self.window.len() > self.window_cap {
+            self.window.pop_front();
+        }
+        self.admissions += 1;
+        if !self.admissions.is_multiple_of(self.every) {
+            return;
+        }
+        stats.evaluations += 1;
+        let mut counts = vec![0u64; self.cycles[0].len()];
+        for &observed in &self.window {
+            counts[observed] += 1;
+        }
+        let best = best_config(&self.cycles, &counts);
+        if best != self.pinned {
+            self.pinned = best;
+            stats.reconfigs += 1;
+        }
+    }
+}
+
+/// The configuration minimising `Σ counts[net] × cycles[config][net]`
+/// (ties to the lowest index; u128 accumulation cannot overflow).
+fn best_config(cycles: &[Vec<u64>], counts: &[u64]) -> usize {
+    let mut best = 0usize;
+    let mut best_cost = u128::MAX;
+    for (config, row) in cycles.iter().enumerate() {
+        let cost: u128 = row
+            .iter()
+            .zip(counts)
+            .map(|(&c, &k)| u128::from(c) * u128::from(k))
+            .sum();
+        if cost < best_cost {
+            best_cost = cost;
+            best = config;
+        }
+    }
+    best
+}
+
 /// Live state of one shard inside the event loop.
 struct ShardState {
     /// Per-network FIFO queues of admitted-but-undispatched requests.
@@ -441,6 +576,9 @@ struct ShardState {
     /// `∫ depth dt` for the time-weighted mean queue depth.
     depth_integral_ms: f64,
     depth_last_ms: f64,
+    /// Serve-time reconfiguration state (`None` = the backend is not
+    /// reconfigurable, or the feature is off).
+    reconfig: Option<ReconfigShard>,
     report: ShardReport,
 }
 
@@ -456,6 +594,13 @@ impl ShardState {
     /// Size of the in-flight batch (0 when idle).
     fn in_flight_len(&self) -> usize {
         self.in_flight.as_ref().map_or(0, |b| b.requests.len())
+    }
+
+    /// Outstanding requests on this shard: queued + in flight — the
+    /// engine-side twin of [`ClusterView::outstanding`], and the one
+    /// definition the backlog gauge and the autoscaler both read.
+    fn outstanding(&self) -> usize {
+        self.depth + self.in_flight_len()
     }
 }
 
@@ -487,6 +632,26 @@ struct Engine<'a> {
     preassigned: Option<Vec<usize>>,
     /// Number of SLO classes in the trace (max class + 1).
     num_classes: usize,
+    /// Ids preempted at least once (maintained only with preemption
+    /// on).
+    preempted_ids: BTreeSet<u64>,
+    /// Autoscaler fleet state: whether each shard is powered.
+    active: Vec<bool>,
+    /// Drain-before-remove: a draining shard stops accepting
+    /// placements but finishes its queue before it parks.
+    draining: Vec<bool>,
+    /// Consecutive over-watermark evaluations (hysteresis).
+    up_streak: u32,
+    /// Consecutive under-watermark evaluations (hysteresis).
+    down_streak: u32,
+    scale_stats: ScaleStats,
+    /// The goodput-per-joule frontier (built only with autoscaling
+    /// enabled — the static path never prices plans).
+    frontier: Option<EnergyFrontier>,
+    /// Cumulative arrivals per network: the observed traffic mix the
+    /// frontier weighs shard costs by.
+    mix_counts: Vec<u64>,
+    reconfig_stats: ReconfigStats,
     // Scratch buffers for the live view (rebuilt per consultation).
     live_queued: Vec<usize>,
     live_in_flight: Vec<usize>,
@@ -514,9 +679,23 @@ pub(super) fn run_engine(
             "per-shard cache budget needs one entry per shard"
         );
     }
+    if config.preempt.is_some() || config.scale.is_some() {
+        assert_eq!(
+            config.admission,
+            Admission::Online,
+            "preemption and autoscaling are online-admission features"
+        );
+    }
+    if let Some(scale) = &config.scale {
+        scale.validate(shard_count);
+    }
+    if let Some(reconfig) = &config.reconfig {
+        reconfig.validate();
+    }
     let mut engine = Engine::new(cluster, policy, config, trace);
     engine.preassign(placement, trace);
     engine.schedule_faults();
+    engine.schedule_first_scale_tick();
 
     let mut cursor = 0usize;
     loop {
@@ -553,6 +732,57 @@ impl<'a> Engine<'a> {
     ) -> Self {
         let shard_count = cluster.shard_count();
         let net_count = cluster.networks().len();
+        // Reconfiguration pricing: pure integers off the backend's
+        // cycle model, computed once per run (and only when the
+        // feature is on — the default path never touches it).
+        let net_shapes: Vec<Vec<sma_tensor::GemmShape>> = if config.reconfig.is_some() {
+            cluster
+                .networks()
+                .iter()
+                .map(sma_models::Network::gemm_shapes)
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let reconfig_shard = |shard: usize| -> Option<ReconfigShard> {
+            let policy = config.reconfig?;
+            let executor = cluster.shard_executor(shard);
+            let backend = executor.backend();
+            let rc = backend.as_reconfigurable()?;
+            let cycles: Vec<Vec<u64>> = (0..rc.config_count())
+                .map(|cfg| {
+                    net_shapes
+                        .iter()
+                        .map(|shapes| rc.pinned_cycles(shapes, cfg))
+                        .collect()
+                })
+                .collect();
+            let penalty: Vec<Vec<f64>> = cycles
+                .iter()
+                .map(|row| {
+                    net_shapes
+                        .iter()
+                        .zip(row)
+                        .map(|(shapes, &pinned)| {
+                            let flexible = rc.flexible_cycles(shapes).max(1);
+                            pinned.max(flexible) as f64 / flexible as f64
+                        })
+                        .collect()
+                })
+                .collect();
+            // The initial pin assumes a uniform mix (not counted as a
+            // reconfiguration).
+            let uniform = vec![1u64; net_count];
+            Some(ReconfigShard {
+                window: VecDeque::new(),
+                window_cap: policy.window,
+                every: policy.every as u64,
+                admissions: 0,
+                pinned: best_config(&cycles, &uniform),
+                cycles,
+                penalty,
+            })
+        };
         let shards: Vec<ShardState> = (0..shard_count)
             .map(|shard| ShardState {
                 queues: vec![VecDeque::new(); net_count],
@@ -580,6 +810,7 @@ impl<'a> Engine<'a> {
                 depth_max: 0,
                 depth_integral_ms: 0.0,
                 depth_last_ms: 0.0,
+                reconfig: reconfig_shard(shard),
                 report: ShardReport {
                     shard,
                     platform: cluster.platforms()[shard],
@@ -602,6 +833,12 @@ impl<'a> Engine<'a> {
             max_class = max_class.max(usize::from(request.class));
         }
         let num_classes = max_class + 1;
+        // The frontier prices plans through the energy ledger only
+        // when the autoscaler will actually consult it.
+        let frontier = config
+            .scale
+            .filter(AutoscalePolicy::enabled)
+            .map(|_| EnergyFrontier::from_cluster(cluster, &EnergyModel::volta()));
         Engine {
             cluster,
             policy,
@@ -619,6 +856,15 @@ impl<'a> Engine<'a> {
             global_future,
             preassigned: None,
             num_classes,
+            preempted_ids: BTreeSet::new(),
+            active: vec![true; shard_count],
+            draining: vec![false; shard_count],
+            up_streak: 0,
+            down_streak: 0,
+            scale_stats: ScaleStats::default(),
+            frontier,
+            mix_counts: vec![0; net_count],
+            reconfig_stats: ReconfigStats::default(),
             live_queued: vec![0; shard_count],
             live_in_flight: vec![0; shard_count],
             live_resident: vec![0; shard_count],
@@ -627,10 +873,21 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// Whether the served-id set must be maintained: only hedging and
-    /// crash-retry can attempt to serve one id twice.
+    /// Whether the served-id set must be maintained: hedging,
+    /// crash-retry and preemption can attempt to serve one id twice.
     fn track_ids(&self) -> bool {
-        self.config.hedge.is_some() || !self.config.faults.is_empty()
+        self.config.hedge.is_some()
+            || self.config.preempt.is_some()
+            || !self.config.faults.is_empty()
+    }
+
+    /// Seeds the autoscaler's first tick (a no-op when the feature is
+    /// off or its energy headroom is zero — the static fleet schedules
+    /// no control-plane events at all).
+    fn schedule_first_scale_tick(&mut self) {
+        if let Some(scale) = self.config.scale.filter(AutoscalePolicy::enabled) {
+            self.push_event(scale.period_ms, CLASS_SCALE, 0, EventKind::ScaleTick);
+        }
     }
 
     /// Legacy shim: run the placement over the whole trace up front,
@@ -725,12 +982,16 @@ impl<'a> Engine<'a> {
             .admits(shard, self.cluster.unit_plan_bytes()[shard][network])
     }
 
+    /// Whether the autoscaler lets a shard take *new* placements
+    /// (always true for the static fleet; draining and parked shards
+    /// decline).
+    fn accepting(&self, shard: usize) -> bool {
+        self.active[shard] && !self.draining[shard]
+    }
+
     /// Cluster-wide outstanding requests (queued + in flight).
     fn backlog(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.depth + s.in_flight_len())
-            .sum()
+        self.shards.iter().map(ShardState::outstanding).sum()
     }
 
     /// Rebuilds the live-view scratch buffers from shard state.
@@ -739,7 +1000,11 @@ impl<'a> Engine<'a> {
             self.live_queued[shard] = state.depth;
             self.live_in_flight[shard] = state.in_flight_len();
             self.live_resident[shard] = state.cache.resident_bytes;
-            self.live_healthy[shard] = state.down_until.is_none();
+            // Draining/parked shards read as unhealthy so
+            // health-aware placements steer around them; the static
+            // fleet (scale off) leaves this the pure crash gauge.
+            self.live_healthy[shard] =
+                state.down_until.is_none() && self.active[shard] && !self.draining[shard];
             self.live_degrade[shard] = if state.degrade_depth > 0 {
                 state.degrade_factor
             } else {
@@ -762,8 +1027,55 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// Enqueues one request on a shard. Without preemption this is the
+    /// historical FIFO push; with preemption on, queues hold strict
+    /// class order (stable FIFO within a class), so the dispatch head
+    /// is always the most urgent admitted work.
+    fn enqueue(&mut self, shard: usize, request: Request, now_ms: f64) {
+        let strict = self.config.preempt.is_some();
+        let state = &mut self.shards[shard];
+        state.note_depth(now_ms, state.depth + 1);
+        let queue = &mut state.queues[request.network];
+        if strict {
+            let pos = queue
+                .iter()
+                .take_while(|r| r.class <= request.class)
+                .count();
+            queue.insert(pos, request);
+        } else {
+            queue.push_back(request);
+        }
+    }
+
+    /// Re-places a request online: the placement's choice if it fits
+    /// and accepts, else the first fitting shard the autoscaler still
+    /// lets accept, else any fitting shard (scaling never causes a
+    /// rejection), else `None` (admission rejects).
+    fn replace_online(
+        &mut self,
+        placement: &mut dyn Placement,
+        request: &Request,
+    ) -> Option<usize> {
+        let shard_count = self.shards.len();
+        self.refresh_live();
+        let chosen = placement.assign(request, &self.live_view());
+        assert!(
+            chosen < shard_count,
+            "placement routed request {} to shard {chosen} of {shard_count}",
+            request.id
+        );
+        if self.fits(chosen, request.network) && self.accepting(chosen) {
+            Some(chosen)
+        } else {
+            (0..shard_count)
+                .find(|&shard| self.fits(shard, request.network) && self.accepting(shard))
+                .or_else(|| (0..shard_count).find(|&shard| self.fits(shard, request.network)))
+        }
+    }
+
     /// One arrival: shed check, placement/admission, enqueue, hedge
-    /// scheduling, dispatch, and the online tail flush.
+    /// scheduling, preemption check, dispatch, and the online tail
+    /// flush.
     fn on_arrival(
         &mut self,
         placement: &mut dyn Placement,
@@ -773,6 +1085,7 @@ impl<'a> Engine<'a> {
         let now_ms = request.arrival_ms;
         let shard_count = self.shards.len();
         self.global_future[request.network] -= 1;
+        self.mix_counts[request.network] += 1;
         let online = pre.is_none();
 
         // Graceful degradation: under backlog pressure, shed by SLO
@@ -794,33 +1107,23 @@ impl<'a> Engine<'a> {
                     self.shards[shard].future_per_net[request.network] -= 1;
                     Some(shard)
                 }
-                None => {
-                    self.refresh_live();
-                    let chosen = placement.assign(&request, &self.live_view());
-                    assert!(
-                        chosen < shard_count,
-                        "placement routed request {} to shard {chosen} of {shard_count}",
-                        request.id
-                    );
-                    // Admission control: the chosen shard must be able
-                    // to ever hold the request's plan; otherwise
-                    // re-place onto the first shard that can, else
-                    // reject.
-                    if self.fits(chosen, request.network) {
-                        Some(chosen)
-                    } else {
-                        (0..shard_count).find(|&shard| self.fits(shard, request.network))
-                    }
-                }
+                // Admission control: the chosen shard must be able to
+                // ever hold the request's plan (and, under
+                // autoscaling, still be accepting); otherwise re-place
+                // onto the first shard that can, else reject.
+                None => self.replace_online(placement, &request),
             };
             match target {
                 Some(shard) => {
-                    {
-                        let state = &mut self.shards[shard];
-                        state.note_depth(now_ms, state.depth + 1);
-                        state.queues[request.network].push_back(request);
-                    }
+                    self.enqueue(shard, request, now_ms);
                     if online {
+                        // The traffic-mix window sees admissions only
+                        // (never retries, hedges or preemption
+                        // re-queues): decisions stay a pure function
+                        // of (trace, placement).
+                        if let Some(rc) = &mut self.shards[shard].reconfig {
+                            rc.observe(request.network, &mut self.reconfig_stats);
+                        }
                         if let Some(hedge) = self.config.hedge {
                             self.push_event(
                                 now_ms + hedge.delay_ms,
@@ -831,6 +1134,31 @@ impl<'a> Engine<'a> {
                                     origin: shard,
                                 },
                             );
+                        }
+                        // Preemption: an arrival urgent enough to
+                        // displace the running batch claims the shard
+                        // via a fixed-slot event, so every
+                        // same-instant completion/fault/recovery
+                        // settles first (a batch completing at this
+                        // exact instant completes — its Preempt goes
+                        // stale).
+                        if let (Some(preempt), Some(batch)) =
+                            (self.config.preempt, &self.shards[shard].in_flight)
+                        {
+                            let victim_class = batch
+                                .requests
+                                .iter()
+                                .map(|r| r.class)
+                                .fold(u8::MAX, u8::min);
+                            if preempt.preempts(request.class, victim_class) {
+                                let epoch = batch.epoch;
+                                self.push_event(
+                                    now_ms,
+                                    CLASS_PREEMPT,
+                                    shard,
+                                    EventKind::Preempt { epoch },
+                                );
+                            }
                         }
                     }
                     if self.idle_and_up(shard) {
@@ -942,7 +1270,147 @@ impl<'a> Engine<'a> {
                 from_shard,
             } => self.on_retry(placement, request, from_shard, now_ms),
             EventKind::Hedge { request, origin } => self.on_hedge(request, origin, now_ms),
+            EventKind::Preempt { epoch } => self.on_preempt(shard, now_ms, epoch),
+            EventKind::ScaleTick => self.on_scale_tick(now_ms),
         }
+    }
+
+    /// An urgent arrival evicts the running batch (unless the epoch is
+    /// stale — the batch completed, or was already evicted, at this
+    /// instant). Unlike a crash abort, the partial work is *billed*:
+    /// the elapsed slice counts as busy time and is reported as
+    /// preempted busy time, so preemption's cost is visible without
+    /// ever double-counting (the victims' eventual completion bills
+    /// its own full batch). Victims re-enter their queue behind more
+    /// urgent work but ahead of their own class peers, preserving
+    /// their mutual order.
+    fn on_preempt(&mut self, shard: usize, now_ms: f64, epoch: u64) -> Result<(), RuntimeError> {
+        {
+            let state = &mut self.shards[shard];
+            let Some(batch) = state.in_flight.take() else {
+                return Ok(()); // already completed, crashed or evicted
+            };
+            if batch.epoch != epoch {
+                state.in_flight = Some(batch); // stale: a newer batch runs
+                return Ok(());
+            }
+            // A same-instant completion (class 1 < 6) would have fired
+            // first, so the eviction always lands strictly before the
+            // batch's completion: elapsed < compile + service.
+            let elapsed_ms = now_ms - batch.start_ms;
+            state.report.busy_ms += elapsed_ms;
+            state.report.fault.preemptions += 1;
+            state.report.fault.preempted_busy_ms += elapsed_ms;
+            state.report.fault.preempted_requests += batch.requests.len() as u64;
+            let victims = batch.requests;
+            for victim in &victims {
+                self.class_stats[usize::from(victim.class)].preempted += 1;
+                self.preempted_ids.insert(victim.id);
+            }
+            // Reverse insertion at the class boundary keeps the
+            // victims' mutual order while landing them after the
+            // urgent work that displaced them.
+            for victim in victims.iter().rev() {
+                let queue = &mut state.queues[victim.network];
+                let pos = queue.iter().take_while(|r| r.class < victim.class).count();
+                queue.insert(pos, *victim);
+            }
+            state.note_depth(now_ms, state.depth + victims.len());
+        }
+        self.attempt_dispatch(shard, now_ms)
+    }
+
+    /// One autoscaler evaluation: complete finished drains, update the
+    /// hysteresis streaks from the backlog-per-active-shard gauge, and
+    /// act at most once — activate the cheapest eligible shard on a
+    /// sustained high, drain the costliest on a sustained low.
+    fn on_scale_tick(&mut self, now_ms: f64) -> Result<(), RuntimeError> {
+        // Ticks are only scheduled when an enabled policy (and with
+        // it the frontier) exists; the guards make that local.
+        let Some(scale) = self.config.scale else {
+            return Ok(());
+        };
+        #[allow(clippy::needless_range_loop)]
+        for shard in 0..self.shards.len() {
+            if self.draining[shard] && self.shards[shard].outstanding() == 0 {
+                self.draining[shard] = false;
+                self.active[shard] = false;
+                self.scale_stats.drains_completed += 1;
+            }
+        }
+        self.scale_stats.evaluations += 1;
+        let active_count = self.active.iter().filter(|&&a| a).count().max(1);
+        let load = self.backlog() as f64 / active_count as f64;
+        if load >= scale.high_watermark {
+            self.up_streak += 1;
+        } else {
+            self.up_streak = 0;
+        }
+        if load <= scale.low_watermark {
+            self.down_streak += 1;
+        } else {
+            self.down_streak = 0;
+        }
+        let Some(frontier) = self.frontier.as_ref() else {
+            return Ok(());
+        };
+        if self.up_streak >= scale.hysteresis_ticks {
+            // Scale up: the cheapest shard (under the observed mix)
+            // among those not currently accepting, gated by the energy
+            // budget — never activate capacity the headroom cannot pay
+            // for. Cancelling an in-progress drain beats powering a
+            // parked shard (same index rule: cheapest wins).
+            let budget = (1.0 + scale.energy_headroom) * frontier.frontier_cost(&self.mix_counts);
+            let candidate = frontier.cheapest(
+                &self.mix_counts,
+                (0..self.shards.len()).filter(|&s| {
+                    !self.accepting(s) && frontier.cost_per_request(s, &self.mix_counts) <= budget
+                }),
+            );
+            if let Some(shard) = candidate {
+                self.draining[shard] = false;
+                self.active[shard] = true;
+                self.scale_stats.scale_ups += 1;
+                self.up_streak = 0;
+                self.down_streak = 0;
+                if self.shards[shard].depth > 0 && self.idle_and_up(shard) {
+                    self.attempt_dispatch(shard, now_ms)?;
+                }
+            }
+        } else if self.down_streak >= scale.hysteresis_ticks {
+            // Scale down: drain the costliest accepting shard, never
+            // below the floor. The drain finishes on a later tick once
+            // the shard runs empty (drain-before-remove).
+            let accepting_count = (0..self.shards.len())
+                .filter(|&s| self.accepting(s))
+                .count();
+            if accepting_count > scale.min_active {
+                let candidate = frontier.costliest(
+                    &self.mix_counts,
+                    (0..self.shards.len()).filter(|&s| self.accepting(s)),
+                );
+                if let Some(shard) = candidate {
+                    self.draining[shard] = true;
+                    self.scale_stats.scale_downs += 1;
+                    self.up_streak = 0;
+                    self.down_streak = 0;
+                }
+            }
+        }
+        // Re-arm while there is anything left to observe: future
+        // arrivals, outstanding work, or an unfinished drain.
+        let more = self.global_future.iter().sum::<usize>() > 0
+            || self.backlog() > 0
+            || self.draining.iter().any(|&d| d);
+        if more {
+            self.push_event(
+                now_ms + scale.period_ms,
+                CLASS_SCALE,
+                0,
+                EventKind::ScaleTick,
+            );
+        }
+        Ok(())
     }
 
     /// A batch finished (unless a crash aborted it first — then the
@@ -1106,23 +1574,9 @@ impl<'a> Engine<'a> {
         if self.served.contains(&request.id) {
             return Ok(()); // a twin won while the backoff elapsed
         }
-        let shard_count = self.shards.len();
         let target = match &self.preassigned {
             Some(_) => Some(from_shard),
-            None => {
-                self.refresh_live();
-                let chosen = placement.assign(&request, &self.live_view());
-                assert!(
-                    chosen < shard_count,
-                    "placement routed retried request {} to shard {chosen} of {shard_count}",
-                    request.id
-                );
-                if self.fits(chosen, request.network) {
-                    Some(chosen)
-                } else {
-                    (0..shard_count).find(|&shard| self.fits(shard, request.network))
-                }
-            }
+            None => self.replace_online(placement, &request),
         };
         let Some(target) = target else {
             if self.failed_ids.insert(request.id) {
@@ -1134,11 +1588,7 @@ impl<'a> Engine<'a> {
             self.class_stats[usize::from(request.class)].failovers += 1;
             self.shards[target].report.fault.failovers += 1;
         }
-        {
-            let state = &mut self.shards[target];
-            state.note_depth(now_ms, state.depth + 1);
-            state.queues[request.network].push_back(request);
-        }
+        self.enqueue(target, request, now_ms);
         if self.idle_and_up(target) {
             self.attempt_dispatch(target, now_ms)
         } else {
@@ -1160,18 +1610,19 @@ impl<'a> Engine<'a> {
         let net = request.network;
         let costs = self.cluster.unit_service_ms();
         let target = (0..self.shards.len())
-            .filter(|&s| s != origin && self.shards[s].down_until.is_none() && self.fits(s, net))
+            .filter(|&s| {
+                s != origin
+                    && self.shards[s].down_until.is_none()
+                    && self.accepting(s)
+                    && self.fits(s, net)
+            })
             .min_by(|&a, &b| costs[a][net].total_cmp(&costs[b][net]).then(a.cmp(&b)));
         let Some(target) = target else {
             return Ok(()); // nowhere to hedge to; the original stands
         };
         self.class_stats[usize::from(request.class)].hedges += 1;
-        {
-            let state = &mut self.shards[target];
-            state.report.fault.hedges += 1;
-            state.note_depth(now_ms, state.depth + 1);
-            state.queues[net].push_back(request);
-        }
+        self.shards[target].report.fault.hedges += 1;
+        self.enqueue(target, request, now_ms);
         if self.idle_and_up(target) {
             self.attempt_dispatch(target, now_ms)
         } else {
@@ -1192,7 +1643,12 @@ impl<'a> Engine<'a> {
         if !self.idle_and_up(shard) {
             return Ok(());
         }
-        let mut ready: Vec<(f64, usize, usize)> = Vec::new(); // (urgency, net, take)
+        // (head class, urgency, net, take) — the class key is 0 for
+        // every queue unless preemption (strict priorities) is on, so
+        // the sort below degenerates to the historical (urgency, net)
+        // rule byte for byte.
+        let strict = self.config.preempt.is_some();
+        let mut ready: Vec<(u8, f64, usize, usize)> = Vec::new();
         let mut wake_ms = f64::INFINITY;
         {
             let state = &mut self.shards[shard];
@@ -1211,19 +1667,21 @@ impl<'a> Engine<'a> {
                     PolicyDecision::Dispatch { take } => {
                         let take = take.clamp(1, contiguous.len());
                         let urgency = self.policy.urgency(contiguous, now_ms);
-                        ready.push((urgency, net, take));
+                        let class = if strict { contiguous[0].class } else { 0 };
+                        ready.push((class, urgency, net, take));
                     }
                     PolicyDecision::WaitUntil(at) => wake_ms = wake_ms.min(at),
                     PolicyDecision::WaitForArrivals => {}
                 }
             }
         }
-        // Most urgent first; stable sort keeps the lowest network
-        // index on urgency ties — the pre-engine drain's rule.
-        ready.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        // Strict class order first (preemption only), then most urgent
+        // first; stable sort keeps the lowest network index on ties —
+        // the pre-engine drain's rule.
+        ready.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)).then(a.2.cmp(&b.2)));
         let fail_active = now_ms < self.shards[shard].compile_fail_until;
         let mut blocked = false;
-        for &(_, net, take) in &ready {
+        for &(_, _, net, take) in &ready {
             if fail_active && !self.shards[shard].cache.contains(&(net, take)) {
                 blocked = true; // compile would fail; try the next queue
                 continue;
@@ -1277,11 +1735,17 @@ impl<'a> Engine<'a> {
         // runs slower by the live factor. (Guarded so the fault-free
         // path performs the exact same float ops as before.)
         let degraded = state.degrade_depth > 0;
-        let service_ms = if degraded {
+        let mut service_ms = if degraded {
             service_base * state.degrade_factor
         } else {
             service_base
         };
+        // Serve-time reconfiguration: the pinned fabric configuration
+        // pays its latency penalty relative to per-shape-best. (Also
+        // guarded — `None` performs no float ops at all.)
+        if let Some(rc) = &state.reconfig {
+            service_ms *= rc.penalty[rc.pinned][net];
+        }
         // Simulated plan residency: a miss bills the compile before
         // the batch starts (0 under the legacy shim's free compiles);
         // an active stall window adds its surcharge per miss.
@@ -1359,12 +1823,18 @@ impl<'a> Engine<'a> {
         // buckets an exact partition of the trace.
         let served = &self.served;
         self.failed.retain(|request| !served.contains(&request.id));
+        self.scale_stats.final_active = (0..self.active.len())
+            .filter(|&shard| self.active[shard] && !self.draining[shard])
+            .count();
         ServeRun {
             reports,
             rejected: self.rejected,
             shed: self.shed,
             failed: self.failed,
             class_stats: self.class_stats,
+            preempted: self.preempted_ids.into_iter().collect(),
+            scale: self.scale_stats,
+            reconfig: self.reconfig_stats,
         }
     }
 }
@@ -1460,6 +1930,8 @@ mod tests {
         heap.push(ev(5.0, CLASS_FAULT, 4));
         heap.push(ev(5.0, CLASS_HEDGE, 5));
         heap.push(ev(5.0, CLASS_RETRY, 6));
+        heap.push(ev(5.0, CLASS_SCALE, 7));
+        heap.push(ev(5.0, CLASS_PREEMPT, 8));
         let order: Vec<(f64, u8, u64)> = std::iter::from_fn(|| heap.pop())
             .map(|e| (e.time, e.class, e.seq))
             .collect();
@@ -1473,8 +1945,25 @@ mod tests {
                 (5.0, CLASS_FAULT, 4),
                 (5.0, CLASS_RETRY, 6),
                 (5.0, CLASS_HEDGE, 5),
+                (5.0, CLASS_PREEMPT, 8),
+                (5.0, CLASS_SCALE, 7),
             ],
-            "completions before timers before faults before retries before hedges"
+            "completions before timers before faults before retries before \
+             hedges before preemptions before scale ticks"
         );
+    }
+
+    #[test]
+    fn best_config_minimises_weighted_cycles_with_low_index_ties() {
+        // config 0 wins net 0, config 1 wins net 1.
+        let cycles = vec![vec![10, 100], vec![50, 20]];
+        assert_eq!(best_config(&cycles, &[1, 0]), 0);
+        assert_eq!(best_config(&cycles, &[0, 1]), 1);
+        // 3×10 + 1×100 = 130 vs 3×50 + 1×20 = 170.
+        assert_eq!(best_config(&cycles, &[3, 1]), 0);
+        // Exact tie: lowest index wins.
+        assert_eq!(best_config(&[vec![5], vec![5]], &[7]), 0);
+        // Empty window: everything is zero cost — lowest index.
+        assert_eq!(best_config(&cycles, &[0, 0]), 0);
     }
 }

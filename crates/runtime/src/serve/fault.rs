@@ -392,6 +392,15 @@ pub struct ShardFaultStats {
     pub failovers: u64,
     /// Hedge duplicates enqueued onto this shard.
     pub hedges: u64,
+    /// In-flight batches an SLO-class preemption evicted (unlike a
+    /// crash abort, the elapsed slice *is* billed as busy time).
+    pub preemptions: u64,
+    /// Requests those evictions re-queued.
+    pub preempted_requests: u64,
+    /// Busy milliseconds billed for evicted partial work (always less
+    /// than the batch's full cost — a same-instant completion outranks
+    /// the preemption event).
+    pub preempted_busy_ms: f64,
 }
 
 impl ShardFaultStats {
@@ -405,6 +414,9 @@ impl ShardFaultStats {
         self.retries += other.retries;
         self.failovers += other.failovers;
         self.hedges += other.hedges;
+        self.preemptions += other.preemptions;
+        self.preempted_requests += other.preempted_requests;
+        self.preempted_busy_ms += other.preempted_busy_ms;
     }
 }
 
@@ -418,6 +430,9 @@ pub struct ClassFaultStats {
     /// Retries that landed on a different shard than the one that
     /// failed.
     pub failovers: u64,
+    /// Requests of this class evicted by an SLO-class preemption (and
+    /// re-queued).
+    pub preempted: u64,
 }
 
 #[cfg(test)]

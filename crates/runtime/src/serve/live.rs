@@ -268,6 +268,11 @@ impl LiveServer {
             engine.hedge.is_none() && engine.shed.is_none(),
             "hedging and shedding are engine-only features"
         );
+        assert!(
+            engine.preempt.is_none() && engine.scale.is_none(),
+            "preemption and autoscaling are engine-only features \
+             (reconfiguration is allowed: it is trace-deterministic)"
+        );
         for event in engine.faults.events() {
             assert!(
                 matches!(
@@ -444,6 +449,9 @@ impl LiveServer {
                 shed: Vec::new(),
                 failed: Vec::new(),
                 class_stats: vec![super::ClassFaultStats::default(); num_classes],
+                preempted: Vec::new(),
+                scale: super::ScaleStats::default(),
+                reconfig: super::ReconfigStats::default(),
             },
             wall_elapsed_ms,
             config: self.live,

@@ -92,6 +92,9 @@ pub struct ClassSummary {
     pub hedges: u64,
     /// Retries of this class re-placed onto a different shard.
     pub failovers: u64,
+    /// Requests of this class evicted (and re-queued) by an SLO-class
+    /// preemption.
+    pub preempted: u64,
 }
 
 /// Cluster-wide metrics of one serve run.
@@ -134,6 +137,27 @@ pub struct ServeOutcome {
     pub hedges: u64,
     /// Retries re-placed onto a different shard.
     pub failovers: u64,
+    /// Batches evicted by SLO-class preemption across the run.
+    pub preemptions: u64,
+    /// Requests those evictions re-queued.
+    pub preempted_requests: u64,
+    /// Autoscaler ticks evaluated across the run (zero when the loop
+    /// is disabled — actions require sustained watermark breaches, so
+    /// `scale_ups == scale_downs == 0` alone does not mean the loop
+    /// never ran).
+    pub scale_evaluations: u64,
+    /// Autoscaler activations across the run (drain cancellations
+    /// included).
+    pub scale_ups: u64,
+    /// Autoscaler drains initiated across the run.
+    pub scale_downs: u64,
+    /// Serve-time backend re-pins that changed the fabric
+    /// configuration.
+    pub reconfigs: u64,
+    /// Traffic-mix window evaluations across all reconfigurable
+    /// shards (every evaluation considers a re-pin; `reconfigs`
+    /// counts the ones that changed it).
+    pub reconfig_evaluations: u64,
     /// Total simulated shard downtime, ms (per-shard sum).
     pub downtime_ms: f64,
     /// Cluster-wide plan-cache counters (per-shard sums).
@@ -215,6 +239,7 @@ pub fn aggregate(run: &ServeRun) -> ServeOutcome {
             retries: stats.retries,
             hedges: stats.hedges,
             failovers: stats.failovers,
+            preempted: stats.preempted,
             ..ClassSummary::default()
         })
         .collect();
@@ -277,6 +302,13 @@ pub fn aggregate(run: &ServeRun) -> ServeOutcome {
         retries: fault_totals.retries,
         hedges: fault_totals.hedges,
         failovers: fault_totals.failovers,
+        preemptions: fault_totals.preemptions,
+        preempted_requests: fault_totals.preempted_requests,
+        scale_evaluations: run.scale.evaluations,
+        scale_ups: run.scale.scale_ups,
+        scale_downs: run.scale.scale_downs,
+        reconfigs: run.reconfig.reconfigs,
+        reconfig_evaluations: run.reconfig.evaluations,
         downtime_ms,
         cache,
         shards: reports

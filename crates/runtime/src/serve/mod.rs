@@ -85,6 +85,7 @@ mod metrics;
 mod oracle;
 mod placement;
 mod policy;
+mod scale;
 mod slo;
 mod transport;
 
@@ -104,7 +105,8 @@ pub use placement::{
     RoundRobin,
 };
 pub use policy::{BatchPolicy, Deadline, Immediate, PolicyDecision, SizeK};
-pub use slo::EarliestDeadlineFirst;
+pub use scale::{AutoscalePolicy, EnergyFrontier, ReconfigPolicy, ReconfigStats, ScaleStats};
+pub use slo::{EarliestDeadlineFirst, PreemptPolicy};
 pub use transport::TransportModel;
 
 use crate::backend::RuntimeError;

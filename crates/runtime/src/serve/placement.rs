@@ -298,6 +298,28 @@ mod tests {
     }
 
     #[test]
+    fn outstanding_is_exactly_queued_plus_in_flight() {
+        // Every load-aware strategy must read backlog through
+        // `outstanding()` — never a hand-rolled `queued + in_flight`
+        // sum that could drift from this definition.
+        let costs = vec![vec![1.0], vec![1.0], vec![1.0]];
+        let queued = [3usize, 0, 7];
+        let in_flight = [2usize, 0, 4];
+        let view = ClusterView {
+            platforms: &["A", "B", "C"],
+            unit_service_ms: &costs,
+            queued: &queued,
+            in_flight: &in_flight,
+            resident_plan_bytes: &[0; 3],
+            healthy: &ALL_UP,
+            degrade: &NO_DEGRADE,
+        };
+        for shard in 0..view.shard_count() {
+            assert_eq!(view.outstanding(shard), queued[shard] + in_flight[shard]);
+        }
+    }
+
+    #[test]
     fn round_robin_cycles() {
         let costs = vec![vec![1.0], vec![1.0], vec![1.0]];
         let view = static_view(&["A", "B", "C"], &costs, &[0; 3], &[0; 3]);

@@ -26,6 +26,55 @@
 use super::load::Request;
 use super::policy::{BatchPolicy, PolicyDecision};
 
+/// Strict-priority preemption between SLO classes.
+///
+/// Classes are ordinal: class 0 is the most urgent (see
+/// [`LoadGenerator::with_classes`](super::LoadGenerator::with_classes)).
+/// When enabled on the engine, an arriving request whose class is at
+/// least `min_class_gap` *more urgent* (numerically smaller) than every
+/// request in the shard's running batch evicts that batch's remainder:
+/// the partial work already performed is billed to the shard via the
+/// same epoch-guard machinery crash aborts use, and the victims are
+/// re-queued ahead of their own class peers — never ahead of the more
+/// urgent work that displaced them. Enabling preemption also switches
+/// every queue to strict class order (FIFO within a class), so the
+/// urgent arrival is actually first in line after the eviction.
+///
+/// The decision itself is a pure function of the two class labels;
+/// all timing and billing live in the engine's `Preempt` event class
+/// (see `docs/AUTOSCALING.md` for the full semantics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PreemptPolicy {
+    /// Minimum class gap (arriving strictly more urgent by at least
+    /// this much) before eviction triggers. Never below 1: a class
+    /// must not preempt itself.
+    pub min_class_gap: u8,
+}
+
+impl Default for PreemptPolicy {
+    fn default() -> Self {
+        PreemptPolicy { min_class_gap: 1 }
+    }
+}
+
+impl PreemptPolicy {
+    /// A preemption policy requiring at least `min_class_gap` classes
+    /// of urgency difference (clamped to >= 1).
+    #[must_use]
+    pub fn new(min_class_gap: u8) -> Self {
+        PreemptPolicy {
+            min_class_gap: min_class_gap.max(1),
+        }
+    }
+
+    /// Whether an arrival of class `arriving` evicts a running batch
+    /// whose most urgent member has class `running_min`.
+    #[must_use]
+    pub fn preempts(&self, arriving: u8, running_min: u8) -> bool {
+        u16::from(arriving) + u16::from(self.min_class_gap) <= u16::from(running_min)
+    }
+}
+
 /// Earliest-deadline-first dynamic batching with an SLO slack bound.
 ///
 /// Dispatches once `max_batch` requests are queued, once the head
@@ -141,6 +190,22 @@ mod tests {
         // FIFO would launch `lax` first (older head); EDF launches
         // `urgent` (sooner deadline).
         assert!(policy.urgency(&urgent, 6.0) < policy.urgency(&lax, 6.0));
+    }
+
+    #[test]
+    fn preemption_requires_the_configured_class_gap() {
+        let gap1 = PreemptPolicy::default();
+        assert!(gap1.preempts(0, 1), "class 0 evicts class 1");
+        assert!(gap1.preempts(0, 2));
+        assert!(!gap1.preempts(1, 1), "a class never preempts itself");
+        assert!(!gap1.preempts(2, 1), "less urgent work never preempts");
+        let gap2 = PreemptPolicy::new(2);
+        assert!(!gap2.preempts(0, 1), "gap 2: adjacent classes coexist");
+        assert!(gap2.preempts(0, 2));
+        // The gap clamps to >= 1 so self-preemption is unrepresentable,
+        // and the u16 arithmetic cannot wrap at the u8 extremes.
+        assert_eq!(PreemptPolicy::new(0), PreemptPolicy::default());
+        assert!(!PreemptPolicy::new(u8::MAX).preempts(u8::MAX, u8::MAX));
     }
 
     #[test]

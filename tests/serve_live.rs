@@ -15,12 +15,14 @@
 //! derived in `docs/LIVE_SERVING.md`: trace-deterministic placements
 //! (round-robin, platform-affinity) × timing-independent batch
 //! partitions (immediate, size-k) × unbounded plan cache, plus the
-//! timing-only fault subset (degrade windows spanning the horizon).
+//! timing-only fault subset (degrade windows spanning the horizon)
+//! and trace-deterministic backend reconfiguration (the mix window
+//! reads admissions, never completion timing).
 
 use sma::runtime::serve::{
     diff_outcomes, discrete_outcomes, replay, BatchPolicy, CacheBudget, EngineConfig, FaultEvent,
     FaultKind, FaultPlan, Immediate, LiveConfig, LiveMode, LiveReport, LiveServer, LoadGenerator,
-    Placement, PlatformAffinity, RoundRobin, ServeCluster, SizeK, TransportModel,
+    Placement, PlatformAffinity, ReconfigPolicy, RoundRobin, ServeCluster, SizeK, TransportModel,
 };
 use sma::runtime::{Executor, Platform};
 use std::sync::Arc;
@@ -381,6 +383,50 @@ fn bursty_and_diurnal_shapes_flow_through_the_live_path() {
             &mut RoundRobin::default(),
         );
     }
+}
+
+#[test]
+fn traffic_mix_reconfiguration_agrees_exactly() {
+    // Reconfiguration is trace-deterministic: the pinned fabric
+    // configuration is a pure function of the admission history (the
+    // sliding shape-histogram window reads arrivals and placements,
+    // never completion timing), so a reconfig-enabled run sits inside
+    // the oracle's timing-robust envelope — under a size-k partition
+    // and a trace-deterministic placement the discrete outcomes replay
+    // exactly, penalty-priced service times and all. That claim is
+    // what this test pins.
+    let cluster = Arc::new(
+        ServeCluster::try_new(
+            vec![
+                Executor::new(Platform::ArrayFlex),
+                Executor::new(Platform::FlexSa),
+            ],
+            vec![sma::models::zoo::alexnet(), sma::models::zoo::vgg_a()],
+        )
+        .expect("reconfigurable cluster compiles"),
+    );
+    let policy: Arc<dyn BatchPolicy> = Arc::new(SizeK::new(4));
+    let trace = trace(71, 96);
+    // A short window and stride so the 96-request trace re-evaluates
+    // the mix many times per shard.
+    let engine = EngineConfig::default().with_reconfig(ReconfigPolicy {
+        window: 16,
+        every: 4,
+    });
+    let (report, replayed) = assert_live_replay_agree(
+        &cluster,
+        &policy,
+        &trace,
+        engine,
+        LiveConfig::new(0.02),
+        &mut RoundRobin::default(),
+        &mut RoundRobin::default(),
+    );
+    assert_eq!(discrete_outcomes(&report.run).served_total(), 96);
+    assert!(
+        replayed.reconfig.evaluations > 0,
+        "the replay exercised the traffic-mix window"
+    );
 }
 
 #[test]

@@ -42,7 +42,16 @@ fn bench_serve_json_is_byte_identical_across_runs_and_threads() {
 #[test]
 fn matrix_blocks_pin_the_acceptance_criteria() {
     let report = run_matrix(&default_scenario(1200, 0xDAC2_0020).unwrap(), 2).expect("matrix runs");
-    assert_eq!(report.combos.len(), 31);
+    assert_eq!(report.combos.len(), 39);
+
+    // Control block: eight fault-free rows exercising the control
+    // plane ({static, auto} x {preempt} x {mix}); everything else
+    // carries "none". `crates/bench/src/serve.rs` pins their activity
+    // counters; here we pin the block's shape.
+    assert_eq!(
+        report.combos.iter().filter(|c| c.control != "none").count(),
+        8
+    );
 
     // Legacy block: nine pairwise-distinct p50/p99 profiles.
     let legacy: Vec<_> = report
@@ -98,12 +107,12 @@ fn matrix_blocks_pin_the_acceptance_criteria() {
 
     // EDF rows of the fault-free online block: the SLO is tight enough
     // that misses are nonzero, and EDF still lands most requests. The
-    // fault block reuses EDF, so key on recovery == "none" to keep
-    // this pin on the original four rows.
+    // fault and control blocks reuse EDF, so key on recovery == "none"
+    // and control == "none" to keep this pin on the original four rows.
     let edf: Vec<_> = report
         .combos
         .iter()
-        .filter(|c| c.policy.starts_with("edf") && c.recovery == "none")
+        .filter(|c| c.policy.starts_with("edf") && c.recovery == "none" && c.control == "none")
         .collect();
     assert_eq!(edf.len(), 4);
     for combo in &edf {
