@@ -8,15 +8,21 @@
 //!    compiled once into a `NetworkPlan` and replayed, fanned across
 //!    scoped worker threads against the warm sharded GEMM caches.
 //!
-//! Both passes render identical reports (plans replay bit-identically);
-//! the wall-clock comparison plus per-pass GEMM-cache hit rates land in
-//! `BENCH_sweep.json` so the perf trajectory is tracked across PRs.
+//! Both passes render identical reports (plans replay bit-identically).
+//! The comparison lands in two files: the committed `BENCH_sweep.json`
+//! holds only the deterministic side (task names, FNV-1a output
+//! digests, GEMM-cache counters — CI byte-diffs it across two runs),
+//! while everything wall-clock derived (`wall_ms`, per-task `ms`,
+//! `speedup`) goes to the gitignored `BENCH_sweep_timing.json` next to
+//! it, so the perf trajectory is tracked without committing noise.
 //!
 //! Environment:
 //! * `SMA_SWEEP_THREADS` — worker threads for the parallel pass
 //!   (default: available parallelism).
 //! * `SMA_SWEEP_REPS` — inference replays per grid cell (default 200).
-//! * `SMA_SWEEP_JSON` — report path (default: `BENCH_sweep.json`).
+//! * `SMA_SWEEP_JSON` — committed report path (default:
+//!   `BENCH_sweep.json`); the timing side-file derives its name from it
+//!   (`_timing` before the extension).
 
 use sma_bench::sweep::{self, PassReport, Sweep, SweepReport};
 
@@ -53,14 +59,20 @@ fn main() {
         parallel: PassReport::new(&parallel, &mid, &after),
     };
     let path = sma_bench::knobs::sweep_json_path();
-    match report.write_json(&path) {
-        Ok(()) => println!("wrote {path}"),
-        Err(e) => {
-            // The report is the point of this binary (CI uploads it as
-            // an artifact); a missing file must fail the build, not
-            // warn into a green log.
-            eprintln!("could not write {path}: {e}");
-            std::process::exit(1);
+    let timing = sweep::timing_path(&path);
+    for (file, result) in [
+        (&path, report.write_json(&path)),
+        (&timing, report.write_timing_json(&timing)),
+    ] {
+        match result {
+            Ok(()) => println!("wrote {file}"),
+            Err(e) => {
+                // The reports are the point of this binary (CI uploads
+                // them as artifacts); a missing file must fail the
+                // build, not warn into a green log.
+                eprintln!("could not write {file}: {e}");
+                std::process::exit(1);
+            }
         }
     }
 

@@ -1,0 +1,674 @@
+//! Design-space exploration grid over the reconfigurable backends.
+//!
+//! The question the paper's §V only samples — *which* pipeline span or
+//! tile mode wins for *which* network at *which* batch, and how much
+//! on-chip cache that choice needs — is answered here exhaustively: a
+//! pinned-configuration grid of
+//!
+//! * ArrayFlex **pipeline span** ∈ {1, 2, 4} ([`PipelineConfig::ALL`]),
+//! * FlexSA **tile mode** ∈ {full 16×16, 4×8×8 sub-arrays}
+//!   ([`FlexSaMode::ALL`]),
+//! * **batch** ∈ {1, 2, 4, 8, 12, 16, 24, 32, 48, 64},
+//! * **weight-cache budget** ∈ {4 … 96} KiB, and
+//! * all seven evaluation **networks**,
+//!
+//! 5 040 points in all — ~50× the 98-task sweep grid — at the same
+//! order of wall-clock, because every point rides the incremental-plan
+//! hot path instead of re-planning from scratch:
+//!
+//! 1. [`DseGrid::compile`] builds one [`PlanFamily`](sma_runtime::PlanFamily)
+//!    per pinned backend
+//!    × network (35 families) and instantiates each at every batch
+//!    point straight into one shared bump [`PlanArena`] (350 plans,
+//!    only the GEMM steps re-estimated per batch).
+//! 2. [`DseCompiled::row`] is then a pure function: it replays the two
+//!    candidate arena plans (lock-free aggregation over `&[PlannedStep]`)
+//!    and folds the budget axis over precomputed per-layer weight
+//!    footprints — no planning, no locking, no allocation beyond the
+//!    profile itself.
+//!
+//! The budget axis is descriptive, not predictive: a GEMM layer is
+//! *resident* when its full weight panel (`k × n` at f16) fits the
+//! budget, so its B-tiles stream from cache instead of DRAM; a point
+//! *fits* when every GEMM layer of the winning candidate is resident.
+//! Modelled latencies are untouched — they stay bit-identical to
+//! [`Executor::try_plan`] + replay, which is what the proptests pin.
+//!
+//! The `dse` binary fans [`DseCompiled::row`] across the sweep module's
+//! work-stealing driver and streams rows through
+//! [`StreamWriter`](crate::stream::StreamWriter); the committed
+//! `BENCH_dse.json` carries only the deterministic summary (axes,
+//! winner tallies, chained row digest), the gitignored
+//! `BENCH_dse_rows.json` the full rows, and the gitignored
+//! `BENCH_dse_timing.json` the wall-clock and the headline
+//! **points/sec**.
+
+use crate::stream::fnv1a64_chain;
+use sma_models::{zoo, Network};
+use sma_runtime::backend::{ArrayFlexBackend, FlexSaBackend, FlexSaMode, PipelineConfig};
+use sma_runtime::{ArenaPlan, Executor, PlanArena, Platform};
+use sma_tensor::{GemmShape, GemmShapeBatch};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// f16 bytes per element — the precision the weight-residency axis
+/// assumes (the paper's FP16-pair GPU integration).
+const WEIGHT_ELEM_BYTES: u64 = 2;
+
+/// One grid point's coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DsePoint {
+    /// ArrayFlex pipeline configuration (index into the grid's spans).
+    pub span: PipelineConfig,
+    /// FlexSA tile mode.
+    pub mode: FlexSaMode,
+    /// Inference batch size.
+    pub batch: usize,
+    /// Weight-cache budget in KiB.
+    pub budget_kib: u64,
+    /// Index into the grid's network list.
+    pub network: usize,
+}
+
+/// The five-axis pinned-configuration grid (see the module docs).
+#[derive(Debug)]
+pub struct DseGrid {
+    spans: Vec<PipelineConfig>,
+    modes: Vec<FlexSaMode>,
+    batches: Vec<usize>,
+    budgets_kib: Vec<u64>,
+    networks: Vec<Network>,
+}
+
+impl DseGrid {
+    /// The full 5 040-point grid: every span × mode × ten batches ×
+    /// twelve budgets × the seven evaluation networks.
+    #[must_use]
+    pub fn full() -> Self {
+        DseGrid {
+            spans: PipelineConfig::ALL.to_vec(),
+            modes: FlexSaMode::ALL.to_vec(),
+            batches: vec![1, 2, 4, 8, 12, 16, 24, 32, 48, 64],
+            budgets_kib: vec![4, 6, 8, 10, 12, 16, 20, 24, 32, 48, 64, 96],
+            networks: zoo::evaluation_networks(),
+        }
+    }
+
+    /// A 48-point corner of the grid for CI smoke runs and tests: all
+    /// spans and modes, batches {1, 16}, budgets {8, 64} KiB, two
+    /// networks.
+    #[must_use]
+    pub fn smoke() -> Self {
+        DseGrid {
+            spans: PipelineConfig::ALL.to_vec(),
+            modes: FlexSaMode::ALL.to_vec(),
+            batches: vec![1, 16],
+            budgets_kib: vec![8, 64],
+            networks: vec![zoo::alexnet(), zoo::goturn()],
+        }
+    }
+
+    /// Total points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.spans.len()
+            * self.modes.len()
+            * self.batches.len()
+            * self.budgets_kib.len()
+            * self.networks.len()
+    }
+
+    /// True for a degenerate grid (an axis is empty).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The networks axis.
+    #[must_use]
+    pub fn networks(&self) -> &[Network] {
+        &self.networks
+    }
+
+    /// Decodes point `index` under the documented axis nesting —
+    /// span-major, then mode, batch, budget, with network innermost —
+    /// so a `SMA_DSE_POINTS` prefix still varies the inner axes first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    #[must_use]
+    pub fn point(&self, index: usize) -> DsePoint {
+        let slots = self.slots(index);
+        DsePoint {
+            span: self.spans[slots.span],
+            mode: self.modes[slots.mode],
+            batch: self.batches[slots.batch],
+            budget_kib: self.budgets_kib[slots.budget],
+            network: slots.network,
+        }
+    }
+
+    /// Raw axis slots of point `index` under the documented nesting.
+    fn slots(&self, index: usize) -> AxisSlots {
+        // sma-lint: allow(no-panic) — an out-of-range index is a driver
+        // bug; the work-stealing cursor never exceeds the count it is
+        // given.
+        assert!(index < self.len(), "point {index} out of range");
+        let network = index % self.networks.len();
+        let rest = index / self.networks.len();
+        let budget = rest % self.budgets_kib.len();
+        let rest = rest / self.budgets_kib.len();
+        let batch = rest % self.batches.len();
+        let rest = rest / self.batches.len();
+        AxisSlots {
+            network,
+            budget,
+            batch,
+            mode: rest % self.modes.len(),
+            span: rest / self.modes.len(),
+        }
+    }
+
+    /// Compiles the grid's plan families into one shared arena (see the
+    /// module docs); the result evaluates points with `&self` only.
+    #[must_use]
+    pub fn compile(self) -> DseCompiled {
+        let executors: Vec<Executor> = self
+            .spans
+            .iter()
+            .map(|&span| {
+                Executor::builder(Platform::ArrayFlex)
+                    .backend(Arc::new(ArrayFlexBackend::pinned(span)))
+                    .build()
+            })
+            .chain(self.modes.iter().map(|&mode| {
+                Executor::builder(Platform::FlexSa)
+                    .backend(Arc::new(FlexSaBackend::pinned(mode)))
+                    .build()
+            }))
+            .collect();
+
+        let mut arena = PlanArena::new();
+        let mut candidates = Vec::with_capacity(executors.len());
+        for exec in &executors {
+            let name = exec.backend().name();
+            let mut per_network = Vec::with_capacity(self.networks.len());
+            for net in &self.networks {
+                let family = exec.plan_family(net);
+                let mut per_batch = Vec::with_capacity(self.batches.len());
+                for &batch in &self.batches {
+                    let shapes = family.gemm_shapes(batch);
+                    let stats = GemmShapeBatch::from_shapes(&shapes);
+                    per_batch.push(Candidate {
+                        name,
+                        plan: family
+                            .try_plan_into(batch, &mut arena)
+                            .map_err(|e| e.to_string()),
+                        weight_bytes: shapes.iter().map(weight_footprint).collect(),
+                        intensity_f16: stats.arithmetic_intensity(WEIGHT_ELEM_BYTES as usize),
+                    });
+                }
+                per_network.push(per_batch);
+            }
+            candidates.push(per_network);
+        }
+        DseCompiled {
+            grid: self,
+            arena,
+            candidates,
+        }
+    }
+}
+
+/// Raw per-axis indices of one grid point.
+#[derive(Debug, Clone, Copy)]
+struct AxisSlots {
+    span: usize,
+    mode: usize,
+    batch: usize,
+    budget: usize,
+    network: usize,
+}
+
+/// Bytes of one GEMM layer's full weight panel at f16 — the
+/// batch-independent `k × n` operand the residency axis budgets for
+/// (batch stacking multiplies `m`, never the weights).
+const fn weight_footprint(shape: &GemmShape) -> u64 {
+    (shape.k as u64) * (shape.n as u64) * WEIGHT_ELEM_BYTES
+}
+
+/// One pinned backend × network × batch, planned into the shared arena.
+#[derive(Debug)]
+struct Candidate {
+    name: &'static str,
+    plan: Result<ArenaPlan, String>,
+    /// Per-GEMM-layer weight-panel bytes, in layer order.
+    weight_bytes: Vec<u64>,
+    /// Aggregate f16 arithmetic intensity of the batch-stacked GEMMs.
+    intensity_f16: f64,
+}
+
+/// A compiled grid: the shared arena plus the candidate table. Point
+/// evaluation ([`DseCompiled::row`]) takes `&self` and is thread-safe.
+#[derive(Debug)]
+pub struct DseCompiled {
+    grid: DseGrid,
+    arena: PlanArena,
+    /// `candidates[backend][network][batch]`; backends are the spans
+    /// followed by the modes, matching [`DseGrid::compile`].
+    candidates: Vec<Vec<Vec<Candidate>>>,
+}
+
+/// One candidate's outcome at a point.
+#[derive(Debug, Clone)]
+pub struct DseOutcome {
+    /// Pinned backend name (e.g. `ArrayFlex-span2`, `FlexSA-sub`).
+    pub name: &'static str,
+    /// `Ok(total_ms)` or the planning rejection.
+    pub total_ms: Result<f64, String>,
+    /// GEMM layers whose weight panel fits the budget.
+    pub resident_gemms: usize,
+    /// Total GEMM layers.
+    pub gemms: usize,
+    /// Aggregate f16 arithmetic intensity of the candidate's GEMMs.
+    pub intensity_f16: f64,
+}
+
+impl DseOutcome {
+    /// True when every GEMM layer's weights are budget-resident.
+    #[must_use]
+    pub fn fits(&self) -> bool {
+        self.resident_gemms == self.gemms
+    }
+}
+
+/// One evaluated grid point.
+#[derive(Debug, Clone)]
+pub struct DseRow {
+    /// Point index in enumeration order.
+    pub index: usize,
+    /// The point's coordinates.
+    pub point: DsePoint,
+    /// Network name (shared with the grid's [`Network`], not copied
+    /// per row).
+    pub network: Arc<str>,
+    /// The ArrayFlex candidate at the point's span.
+    pub arrayflex: DseOutcome,
+    /// The FlexSA candidate at the point's mode.
+    pub flexsa: DseOutcome,
+}
+
+impl DseRow {
+    /// The winning candidate — lowest modelled latency among the
+    /// candidates that planned successfully (`None` if both rejected).
+    #[must_use]
+    pub fn winner(&self) -> Option<&DseOutcome> {
+        match (&self.arrayflex.total_ms, &self.flexsa.total_ms) {
+            (Ok(a), Ok(f)) => Some(if *a <= *f {
+                &self.arrayflex
+            } else {
+                &self.flexsa
+            }),
+            (Ok(_), Err(_)) => Some(&self.arrayflex),
+            (Err(_), Ok(_)) => Some(&self.flexsa),
+            (Err(_), Err(_)) => None,
+        }
+    }
+
+    /// Winner inferences per second (`batch / total_ms`), 0 if both
+    /// candidates were rejected.
+    #[must_use]
+    pub fn throughput_ips(&self) -> f64 {
+        match self.winner().map(|w| &w.total_ms) {
+            Some(Ok(ms)) if *ms > 0.0 => self.point.batch as f64 * 1e3 / ms,
+            _ => 0.0,
+        }
+    }
+
+    /// Renders the row as one JSON object (no trailing newline).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        fn outcome(out: &mut String, key: &str, o: &DseOutcome) {
+            let _ = write!(out, "\"{key}\": {{\"backend\": \"{}\", ", o.name);
+            match &o.total_ms {
+                Ok(ms) => {
+                    let _ = write!(out, "\"total_ms\": {ms:.6}, ");
+                }
+                Err(reason) => {
+                    let _ = write!(
+                        out,
+                        "\"rejected\": \"{}\", ",
+                        crate::sweep::escape_json(reason)
+                    );
+                }
+            }
+            let _ = write!(
+                out,
+                "\"resident_gemms\": {}, \"gemms\": {}, \"fits\": {}, \"ai_f16\": {:.3}}}",
+                o.resident_gemms,
+                o.gemms,
+                o.fits(),
+                o.intensity_f16
+            );
+        }
+
+        let mut out = String::with_capacity(256);
+        let _ = write!(
+            out,
+            "{{\"i\": {}, \"span\": {}, \"mode\": \"{}\", \"batch\": {}, \"budget_kib\": {}, \"network\": \"{}\", ",
+            self.index,
+            self.point.span.span(),
+            mode_label(self.point.mode),
+            self.point.batch,
+            self.point.budget_kib,
+            crate::sweep::escape_json(&self.network),
+        );
+        outcome(&mut out, "arrayflex", &self.arrayflex);
+        out.push_str(", ");
+        outcome(&mut out, "flexsa", &self.flexsa);
+        let _ = write!(
+            out,
+            ", \"winner\": \"{}\", \"throughput_ips\": {:.3}}}",
+            self.winner().map_or("none", |w| w.name),
+            self.throughput_ips()
+        );
+        out
+    }
+}
+
+/// Short label for a FlexSA mode in rows and summaries.
+#[must_use]
+pub fn mode_label(mode: FlexSaMode) -> &'static str {
+    match mode {
+        FlexSaMode::FullArray => "full",
+        FlexSaMode::SubArrays => "sub",
+    }
+}
+
+impl DseCompiled {
+    /// The grid this table was compiled from.
+    #[must_use]
+    pub fn grid(&self) -> &DseGrid {
+        &self.grid
+    }
+
+    /// Evaluates point `index`: replays the two candidate arena plans
+    /// and folds the budget over the precomputed weight footprints.
+    /// Pure and lock-free — safe to call from any number of threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= grid.len()` (driver bug; see
+    /// [`DseGrid::point`]).
+    #[must_use]
+    pub fn row(&self, index: usize) -> DseRow {
+        let point = self.grid.point(index);
+        let slots = self.grid.slots(index);
+        let budget_bytes = point.budget_kib * 1024;
+        let arrayflex = &self.candidates[slots.span][slots.network][slots.batch];
+        let flexsa =
+            &self.candidates[self.grid.spans.len() + slots.mode][slots.network][slots.batch];
+        DseRow {
+            index,
+            point,
+            network: self.grid.networks[point.network].name_shared(),
+            arrayflex: self.outcome(arrayflex, budget_bytes),
+            flexsa: self.outcome(flexsa, budget_bytes),
+        }
+    }
+
+    fn outcome(&self, candidate: &Candidate, budget_bytes: u64) -> DseOutcome {
+        DseOutcome {
+            name: candidate.name,
+            total_ms: candidate
+                .plan
+                .as_ref()
+                .map(|plan| self.arena.replay(plan).total_ms)
+                .map_err(Clone::clone),
+            resident_gemms: candidate
+                .weight_bytes
+                .iter()
+                .filter(|&&w| w <= budget_bytes)
+                .count(),
+            gemms: candidate.weight_bytes.len(),
+            intensity_f16: candidate.intensity_f16,
+        }
+    }
+
+    /// Arena steps held for the whole grid (all 350 plans).
+    #[must_use]
+    pub fn arena_steps(&self) -> usize {
+        self.arena.len()
+    }
+}
+
+/// The deterministic summary committed as `BENCH_dse.json`.
+#[derive(Debug, Clone)]
+pub struct DseReport {
+    /// Points evaluated (the whole grid, or a `SMA_DSE_POINTS` prefix).
+    pub points: usize,
+    /// Chained FNV-1a 64 digest over every row's JSON, in index order.
+    pub rows_digest: u64,
+    /// `(backend name, points won)` in first-seen row order, plus a
+    /// final `("none", …)` tally for doubly-rejected points.
+    pub winners: Vec<(&'static str, usize)>,
+    /// Points whose winner is fully weight-resident at the budget.
+    pub resident_points: usize,
+    /// `(network, arrayflex wins, flexsa wins)` in network-axis order.
+    pub per_network: Vec<(Arc<str>, usize, usize)>,
+}
+
+impl DseReport {
+    /// Aggregates rows (digesting their JSON in index order — rows must
+    /// be passed sorted by index, as the streaming slots table yields
+    /// them).
+    #[must_use]
+    pub fn from_rows(rows: &[DseRow]) -> Self {
+        let mut digest = crate::stream::fnv1a64_seed();
+        let mut winners: Vec<(&'static str, usize)> = Vec::new();
+        let mut resident_points = 0;
+        let mut per_network: Vec<(Arc<str>, usize, usize)> = Vec::new();
+        for row in rows {
+            digest = fnv1a64_chain(digest, row.to_json().as_bytes());
+            let name = row.winner().map_or("none", |w| w.name);
+            match winners.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, count)) => *count += 1,
+                None => winners.push((name, 1)),
+            }
+            if row.winner().is_some_and(DseOutcome::fits) {
+                resident_points += 1;
+            }
+            let net_slot = match per_network.iter().position(|(n, _, _)| **n == *row.network) {
+                Some(slot) => slot,
+                None => {
+                    per_network.push((Arc::clone(&row.network), 0, 0));
+                    per_network.len() - 1
+                }
+            };
+            if let Some(w) = row.winner() {
+                if w.name.starts_with("ArrayFlex") {
+                    per_network[net_slot].1 += 1;
+                } else {
+                    per_network[net_slot].2 += 1;
+                }
+            }
+        }
+        DseReport {
+            points: rows.len(),
+            rows_digest: digest,
+            winners,
+            resident_points,
+            per_network,
+        }
+    }
+
+    /// Renders the committed summary as JSON. Nothing wall-derived —
+    /// CI byte-diffs this file across two runs.
+    #[must_use]
+    pub fn to_json(&self, grid: &DseGrid) -> String {
+        let mut out = String::from("{\n  \"grid\": {\n");
+        let _ = write!(
+            out,
+            "    \"spans\": [{}],\n    \"modes\": [{}],\n    \"batches\": [{}],\n    \"cache_budgets_kib\": [{}],\n    \"networks\": [{}]\n  }},\n",
+            join_with(&grid.spans, |s| s.span().to_string()),
+            join_with(&grid.modes, |&m| format!("\"{}\"", mode_label(m))),
+            join_with(&grid.batches, ToString::to_string),
+            join_with(&grid.budgets_kib, ToString::to_string),
+            join_with(grid.networks(), |n| format!(
+                "\"{}\"",
+                crate::sweep::escape_json(n.name())
+            )),
+        );
+        let _ = write!(
+            out,
+            "  \"points\": {},\n  \"rows_digest\": \"{:016x}\",\n  \"resident_points\": {},\n  \"winners\": {{\n",
+            self.points, self.rows_digest, self.resident_points
+        );
+        for (i, (name, count)) in self.winners.iter().enumerate() {
+            let comma = if i + 1 == self.winners.len() { "" } else { "," };
+            let _ = writeln!(out, "    \"{name}\": {count}{comma}");
+        }
+        out.push_str("  },\n  \"per_network\": {\n");
+        for (i, (name, af, fs)) in self.per_network.iter().enumerate() {
+            let comma = if i + 1 == self.per_network.len() {
+                ""
+            } else {
+                ","
+            };
+            let _ = writeln!(
+                out,
+                "    \"{}\": {{\"arrayflex_wins\": {af}, \"flexsa_wins\": {fs}}}{comma}",
+                crate::sweep::escape_json(name)
+            );
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+}
+
+fn join_with<T>(items: &[T], f: impl Fn(&T) -> String) -> String {
+    items.iter().map(f).collect::<Vec<_>>().join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_grid_meets_the_issue_floor() {
+        let grid = DseGrid::full();
+        assert!(grid.len() >= 5_000, "grid has {} points", grid.len());
+        assert_eq!(grid.len(), 3 * 2 * 10 * 12 * 7);
+        assert!(!grid.is_empty());
+    }
+
+    #[test]
+    fn point_decoding_round_trips_the_axes() {
+        let grid = DseGrid::smoke();
+        assert_eq!(grid.len(), 48);
+        // Network is the innermost axis; the first points walk it.
+        assert_eq!(grid.point(0).network, 0);
+        assert_eq!(grid.point(1).network, 1);
+        assert_eq!(grid.point(1).budget_kib, grid.point(0).budget_kib);
+        // Every index decodes to a distinct coordinate tuple.
+        let mut seen: Vec<DsePoint> = Vec::new();
+        for i in 0..grid.len() {
+            let p = grid.point(i);
+            assert!(!seen.contains(&p), "duplicate point at {i}");
+            seen.push(p);
+        }
+        // The last point sits at every axis maximum.
+        let last = grid.point(grid.len() - 1);
+        assert_eq!(last.batch, 16);
+        assert_eq!(last.budget_kib, 64);
+        assert_eq!(last.network, 1);
+    }
+
+    #[test]
+    fn rows_replay_bit_identical_to_from_scratch_plans() {
+        let compiled = DseGrid::smoke().compile();
+        for index in [0, 7, 23, 47] {
+            let row = compiled.row(index);
+            let point = compiled.grid().point(index);
+            let net = &compiled.grid().networks()[point.network];
+            let arrayflex = Executor::builder(Platform::ArrayFlex)
+                .backend(Arc::new(ArrayFlexBackend::pinned(point.span)))
+                .batch(point.batch)
+                .build();
+            let flexsa = Executor::builder(Platform::FlexSa)
+                .backend(Arc::new(FlexSaBackend::pinned(point.mode)))
+                .batch(point.batch)
+                .build();
+            let expect_a = arrayflex.try_plan(net).expect("plans").run().total_ms;
+            let expect_f = flexsa.try_plan(net).expect("plans").run().total_ms;
+            assert_eq!(
+                row.arrayflex
+                    .total_ms
+                    .as_ref()
+                    .copied()
+                    .expect("ok")
+                    .to_bits(),
+                expect_a.to_bits(),
+                "point {index} arrayflex diverged"
+            );
+            assert_eq!(
+                row.flexsa.total_ms.as_ref().copied().expect("ok").to_bits(),
+                expect_f.to_bits(),
+                "point {index} flexsa diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn residency_grows_with_the_budget() {
+        let compiled = DseGrid::smoke().compile();
+        // Points 0 and 0+len(networks) differ only in budget (8 → 64
+        // KiB) under the axis nesting.
+        let nets = compiled.grid().networks().len();
+        let small = compiled.row(0);
+        let large = compiled.row(nets);
+        assert_eq!(small.point.batch, large.point.batch);
+        assert!(small.point.budget_kib < large.point.budget_kib);
+        assert!(large.arrayflex.resident_gemms >= small.arrayflex.resident_gemms);
+        assert!(large.flexsa.resident_gemms >= small.flexsa.resident_gemms);
+    }
+
+    #[test]
+    fn rows_render_and_summarise_deterministically() {
+        let compiled = DseGrid::smoke().compile();
+        let rows: Vec<DseRow> = (0..compiled.grid().len())
+            .map(|i| compiled.row(i))
+            .collect();
+        for row in &rows {
+            let json = row.to_json();
+            for key in ["\"span\"", "\"winner\"", "\"throughput_ips\"", "\"fits\""] {
+                assert!(json.contains(key), "missing {key} in {json}");
+            }
+            assert!(row.winner().is_some(), "smoke candidates must all plan");
+            assert!(row.throughput_ips() > 0.0);
+        }
+        let report = DseReport::from_rows(&rows);
+        assert_eq!(report.points, 48);
+        assert_eq!(report.winners.iter().map(|(_, c)| c).sum::<usize>(), 48);
+        let json = report.to_json(compiled.grid());
+        for key in ["\"rows_digest\"", "\"winners\"", "\"per_network\""] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        for banned in ["wall_ms", "points_per_sec"] {
+            assert!(!json.contains(banned), "wall-derived {banned} leaked");
+        }
+        // The summary digest is the chained hash of the rows.
+        let again = DseReport::from_rows(&rows);
+        assert_eq!(report.rows_digest, again.rows_digest);
+    }
+
+    #[test]
+    fn arena_holds_every_candidate_plan() {
+        let compiled = DseGrid::smoke().compile();
+        // 5 backends × 2 networks × 2 batches = 20 plans in one arena.
+        assert!(compiled.arena_steps() > 0);
+        let per_plan_floor = 1; // every network has at least one layer
+        assert!(compiled.arena_steps() >= 20 * per_plan_floor);
+    }
+}

@@ -96,6 +96,43 @@ pub fn sweep_json_path() -> String {
     parse("SMA_SWEEP_JSON", String::from("BENCH_sweep.json"))
 }
 
+/// Point cap for the `dse` bin: `SMA_DSE_POINTS` truncates the
+/// enumerated grid to its first N points (enumeration order is the
+/// documented axis nesting, so a prefix is itself deterministic).
+/// Unset means the full grid; zero is rejected rather than defaulted —
+/// a 0-point sweep is a request we cannot honor.
+#[must_use]
+pub fn dse_points() -> Option<usize> {
+    match opt::<usize>("SMA_DSE_POINTS") {
+        Some(0) => abort("SMA_DSE_POINTS=0 is malformed (point cap must be positive)"),
+        other => other,
+    }
+}
+
+/// Streaming results writer toggle: `SMA_SWEEP_STREAM`, default `1`
+/// (rows are written to the artifact as points complete, bounded
+/// memory). `0` buffers the whole report before writing — byte-for-byte
+/// the same file, kept as the bisection aid for writer bugs.
+#[must_use]
+pub fn sweep_stream() -> bool {
+    match parse("SMA_SWEEP_STREAM", 1u8) {
+        0 => false,
+        1 => true,
+        other => abort(&format!(
+            "SMA_SWEEP_STREAM={other} is malformed (expected 0 or 1)"
+        )),
+    }
+}
+
+/// DSE report path: `SMA_DSE_JSON`, default `BENCH_dse.json` (the
+/// committed deterministic summary). The gitignored row stream and
+/// timing side-files derive their names from this path
+/// (`<stem>_rows.json`, `<stem>_timing.json`).
+#[must_use]
+pub fn dse_json_path() -> String {
+    parse("SMA_DSE_JSON", String::from("BENCH_dse.json"))
+}
+
 /// Serve report path: `SMA_SERVE_JSON`, default `BENCH_serve.json`.
 #[must_use]
 pub fn serve_json_path() -> String {
@@ -310,6 +347,42 @@ mod tests {
         });
         with_env("SMA_SWEEP_JSON", Some("x.json"), || {
             assert_eq!(super::sweep_json_path(), "x.json");
+        });
+    }
+
+    #[test]
+    fn dse_points_knob() {
+        with_env("SMA_DSE_POINTS", None, || {
+            assert_eq!(super::dse_points(), None)
+        });
+        with_env("SMA_DSE_POINTS", Some("128"), || {
+            assert_eq!(super::dse_points(), Some(128))
+        });
+        // Zero aborts in the accessor (a 0-point sweep is not a default);
+        // the parse layer itself accepts it, so pin the malformed text arm.
+        assert_malformed::<usize>("SMA_DSE_POINTS", "all");
+    }
+
+    #[test]
+    fn sweep_stream_knob() {
+        with_env("SMA_SWEEP_STREAM", None, || assert!(super::sweep_stream()));
+        with_env("SMA_SWEEP_STREAM", Some("1"), || {
+            assert!(super::sweep_stream())
+        });
+        with_env("SMA_SWEEP_STREAM", Some("0"), || {
+            assert!(!super::sweep_stream())
+        });
+        // `true`/`false` are rejected: the knob is documented as 0/1.
+        assert_malformed::<u8>("SMA_SWEEP_STREAM", "true");
+    }
+
+    #[test]
+    fn dse_json_path_knob() {
+        with_env("SMA_DSE_JSON", None, || {
+            assert_eq!(super::dse_json_path(), "BENCH_dse.json");
+        });
+        with_env("SMA_DSE_JSON", Some("d.json"), || {
+            assert_eq!(super::dse_json_path(), "d.json");
         });
     }
 

@@ -10,8 +10,16 @@
 //!
 //! [`Sweep::run_serial`] and [`Sweep::run_parallel`] produce identical
 //! outputs (tasks are deterministic); `all_experiments` times both and
-//! writes the comparison to `BENCH_sweep.json` so the perf trajectory
-//! is tracked across PRs.
+//! writes the comparison in two files: the committed `BENCH_sweep.json`
+//! holds only what is a pure function of the source tree (task names,
+//! FNV-1a output digests, GEMM-cache counters) so CI can byte-diff it
+//! across runs, while everything wall-clock derived (`wall_ms`,
+//! per-task `ms`, `speedup`) lands in the gitignored
+//! `BENCH_sweep_timing.json`.
+//!
+//! The work-stealing loop behind [`Sweep::run_parallel`] is exported as
+//! [`run_work_stealing`] so other drivers (the `dse` grid) reuse the
+//! same sanctioned thread-spawn site instead of growing their own.
 //!
 //! # Sweeping a custom backend
 //!
@@ -267,22 +275,12 @@ impl Sweep {
     /// identical to [`Sweep::run_serial`] — tasks are deterministic.
     #[must_use]
     pub fn run_parallel(&self, threads: usize) -> SweepRun {
-        let workers = threads.clamp(1, self.tasks.len().max(1));
         // sma-lint: allow(wallclock) — timing the parallel pass is the point.
         let start = Instant::now();
-        let cursor = AtomicUsize::new(0);
         let slots: Mutex<Vec<Option<TaskReport>>> = Mutex::new(vec![None; self.tasks.len()]);
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(task) = self.tasks.get(i) else {
-                        break;
-                    };
-                    let report = run_task(task);
-                    slots.lock().expect("sweep slots poisoned")[i] = Some(report);
-                });
-            }
+        let workers = run_work_stealing(self.tasks.len(), threads, |i| {
+            let report = run_task(&self.tasks[i]);
+            slots.lock().expect("sweep slots poisoned")[i] = Some(report);
         });
         let tasks = slots
             .into_inner()
@@ -296,6 +294,35 @@ impl Sweep {
             threads: workers,
         }
     }
+}
+
+/// Runs `work(0..count)` across up to `threads` scoped worker threads
+/// pulling indices from a shared atomic cursor, and returns the worker
+/// count actually used (clamped to `1..=count`). Blocks until every
+/// index has been processed.
+///
+/// This is the crate's single work-stealing thread-spawn site: the
+/// sweep passes and the `dse` grid both fan out through it, so the
+/// determinism audit (`lint.toml` sanctions `sweep.rs` for
+/// `thread-spawn`) has exactly one loop to review. `work` receives each
+/// index exactly once; completion order is unspecified, so `work` must
+/// route any ordered output through an order-restoring sink such as
+/// [`StreamWriter`](crate::stream::StreamWriter).
+pub fn run_work_stealing(count: usize, threads: usize, work: impl Fn(usize) + Sync) -> usize {
+    let workers = threads.clamp(1, count.max(1));
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                work(i);
+            });
+        }
+    });
+    workers
 }
 
 fn run_task(task: &SweepTask) -> TaskReport {
@@ -603,16 +630,28 @@ fn tables_report() -> String {
 // BENCH_sweep.json
 // ---------------------------------------------------------------------
 
-/// One pass of [`SweepReport`]: wall-clock, per-task timing, and the
-/// GEMM-cache activity the pass generated.
+/// One task's name, wall cost, and output fingerprint inside a
+/// [`PassReport`].
+#[derive(Debug, Clone)]
+pub struct TaskSummary {
+    /// Task name.
+    pub name: String,
+    /// Wall-clock milliseconds (timing file only).
+    pub ms: f64,
+    /// FNV-1a 64 digest of the rendered output (committed file only).
+    pub digest: u64,
+}
+
+/// One pass of [`SweepReport`]: wall-clock, per-task timing and output
+/// digests, and the GEMM-cache activity the pass generated.
 #[derive(Debug, Clone)]
 pub struct PassReport {
     /// Wall-clock milliseconds of the pass.
     pub wall_ms: f64,
     /// Worker threads.
     pub threads: usize,
-    /// Per-task `(name, ms)` in task order.
-    pub tasks: Vec<(String, f64)>,
+    /// Per-task summaries in task order.
+    pub tasks: Vec<TaskSummary>,
     /// Per-platform GEMM-cache counter deltas for this pass.
     pub cache: Vec<(&'static str, CacheStats)>,
 }
@@ -639,14 +678,25 @@ impl PassReport {
         PassReport {
             wall_ms: run.wall_ms,
             threads: run.threads,
-            tasks: run.tasks.iter().map(|t| (t.name.clone(), t.ms)).collect(),
+            tasks: run
+                .tasks
+                .iter()
+                .map(|t| TaskSummary {
+                    name: t.name.clone(),
+                    ms: t.ms,
+                    digest: crate::stream::fnv1a64(t.output.as_bytes()),
+                })
+                .collect(),
             cache,
         }
     }
 }
 
-/// The serial-vs-planned-parallel wall-clock comparison written to
-/// `BENCH_sweep.json` by `all_experiments`.
+/// The serial-vs-planned-parallel comparison `all_experiments` renders
+/// as two files: a committed deterministic report (task names + output
+/// digests + GEMM-cache counters — a pure function of the source tree)
+/// and a gitignored timing side-file carrying everything wall-clock
+/// derived.
 #[derive(Debug, Clone)]
 pub struct SweepReport {
     /// The serial reference pass (cold caches: every estimate computed).
@@ -667,22 +717,33 @@ impl SweepReport {
         }
     }
 
-    /// Renders the report as JSON (hand-rolled: the serde shim carries
-    /// no serialiser).
+    /// True when both passes rendered bitwise-identical outputs for
+    /// every task (compared by digest, in task order).
+    #[must_use]
+    pub fn outputs_match(&self) -> bool {
+        self.serial.tasks.len() == self.parallel.tasks.len()
+            && self
+                .serial
+                .tasks
+                .iter()
+                .zip(&self.parallel.tasks)
+                .all(|(s, p)| s.name == p.name && s.digest == p.digest)
+    }
+
+    /// Renders the committed deterministic report as JSON (hand-rolled:
+    /// the serde shim carries no serialiser). Contains no wall-derived
+    /// field — CI byte-diffs this file across two runs.
     #[must_use]
     pub fn to_json(&self) -> String {
         fn pass(out: &mut String, name: &str, p: &PassReport) {
-            let _ = write!(
-                out,
-                "  \"{name}\": {{\n    \"wall_ms\": {:.3},\n    \"threads\": {},\n    \"tasks\": [\n",
-                p.wall_ms, p.threads
-            );
-            for (i, (task, ms)) in p.tasks.iter().enumerate() {
+            let _ = write!(out, "  \"{name}\": {{\n    \"tasks\": [\n");
+            for (i, task) in p.tasks.iter().enumerate() {
                 let comma = if i + 1 == p.tasks.len() { "" } else { "," };
                 let _ = writeln!(
                     out,
-                    "      {{\"name\": \"{}\", \"ms\": {ms:.3}}}{comma}",
-                    escape_json(task)
+                    "      {{\"name\": \"{}\", \"digest\": \"{:016x}\"}}{comma}",
+                    escape_json(&task.name),
+                    task.digest
                 );
             }
             out.push_str("    ],\n    \"gemm_cache\": {\n");
@@ -704,17 +765,72 @@ impl SweepReport {
         pass(&mut out, "serial", &self.serial);
         out.push_str(",\n");
         pass(&mut out, "parallel", &self.parallel);
+        let _ = write!(
+            out,
+            ",\n  \"outputs_match\": {}\n}}\n",
+            self.outputs_match()
+        );
+        out
+    }
+
+    /// Renders the wall-derived timing side-file as JSON: pass
+    /// wall-clock, thread counts, per-task `ms`, and the speedup. Never
+    /// committed (machine- and load-dependent by nature).
+    #[must_use]
+    pub fn timing_json(&self) -> String {
+        fn pass(out: &mut String, name: &str, p: &PassReport) {
+            let _ = write!(
+                out,
+                "  \"{name}\": {{\n    \"wall_ms\": {:.3},\n    \"threads\": {},\n    \"tasks\": [\n",
+                p.wall_ms, p.threads
+            );
+            for (i, task) in p.tasks.iter().enumerate() {
+                let comma = if i + 1 == p.tasks.len() { "" } else { "," };
+                let _ = writeln!(
+                    out,
+                    "      {{\"name\": \"{}\", \"ms\": {:.3}}}{comma}",
+                    escape_json(&task.name),
+                    task.ms
+                );
+            }
+            out.push_str("    ]\n  }");
+        }
+
+        let mut out = String::from("{\n");
+        pass(&mut out, "serial", &self.serial);
+        out.push_str(",\n");
+        pass(&mut out, "parallel", &self.parallel);
         let _ = write!(out, ",\n  \"speedup\": {:.3}\n}}\n", self.speedup());
         out
     }
 
-    /// Writes the JSON report to `path`.
+    /// Writes the committed deterministic report to `path`.
     ///
     /// # Errors
     ///
     /// Propagates filesystem errors.
     pub fn write_json(&self, path: impl AsRef<Path>) -> io::Result<()> {
         std::fs::write(path, self.to_json())
+    }
+
+    /// Writes the timing side-file to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_timing_json(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.timing_json())
+    }
+}
+
+/// The timing side-file path paired with a committed report path:
+/// `BENCH_sweep.json` → `BENCH_sweep_timing.json` (a `_timing` suffix
+/// before the extension; appended when there is no extension).
+#[must_use]
+pub fn timing_path(report_path: &str) -> String {
+    match report_path.rsplit_once('.') {
+        Some((stem, ext)) if !stem.is_empty() => format!("{stem}_timing.{ext}"),
+        _ => format!("{report_path}_timing"),
     }
 }
 
@@ -802,20 +918,64 @@ mod tests {
         for key in [
             "\"serial\"",
             "\"parallel\"",
-            "\"wall_ms\"",
             "\"tasks\"",
+            "\"digest\"",
             "\"gemm_cache\"",
             "\"hit_rate\"",
-            "\"speedup\"",
+            "\"outputs_match\": true",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
+        }
+        // The committed report must carry nothing wall-derived.
+        for banned in ["wall_ms", "\"ms\"", "threads", "speedup"] {
+            assert!(!json.contains(banned), "wall-derived {banned} in {json}");
         }
         assert_eq!(
             json.matches('{').count(),
             json.matches('}').count(),
             "unbalanced braces"
         );
+        let timing = report.timing_json();
+        for key in ["\"wall_ms\"", "\"threads\"", "\"ms\"", "\"speedup\""] {
+            assert!(timing.contains(key), "missing {key} in {timing}");
+        }
+        assert!(!timing.contains("digest"));
         assert!(report.speedup() > 0.0);
+    }
+
+    #[test]
+    fn committed_report_is_identical_across_repeat_runs() {
+        let execs = grid_executors(&[Platform::Sma2], &[4]);
+        let nets = [zoo::goturn()];
+        let render = |run: &SweepRun| {
+            SweepReport {
+                serial: PassReport::new(run, &[], &[]),
+                parallel: PassReport::new(run, &[], &[]),
+            }
+            .to_json()
+        };
+        let first = render(&Sweep::grid(&execs, &nets).run_serial());
+        let second = render(&Sweep::grid(&execs, &nets).run_parallel(2));
+        assert_eq!(first, second, "committed bytes must not depend on timing");
+    }
+
+    #[test]
+    fn work_stealing_visits_every_index_exactly_once() {
+        use std::sync::atomic::AtomicU32;
+        let hits: Vec<AtomicU32> = (0..97).map(|_| AtomicU32::new(0)).collect();
+        let workers = run_work_stealing(hits.len(), 8, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!((1..=8).contains(&workers));
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        assert_eq!(run_work_stealing(0, 4, |_| unreachable!()), 1);
+    }
+
+    #[test]
+    fn timing_path_suffixes_before_the_extension() {
+        assert_eq!(timing_path("BENCH_sweep.json"), "BENCH_sweep_timing.json");
+        assert_eq!(timing_path("out/d.se.json"), "out/d.se_timing.json");
+        assert_eq!(timing_path("report"), "report_timing");
     }
 
     #[test]

@@ -165,7 +165,16 @@ impl ArrayFlexModel {
     /// for the shape.
     #[must_use]
     pub fn estimate(&self, shape: GemmShape) -> GemmEstimate {
-        let config = self.best_config(shape);
+        self.estimate_pinned(shape, self.best_config(shape))
+    }
+
+    /// Estimates one GEMM under one *pinned* pipeline configuration —
+    /// the design-space-exploration axis: what the array costs when the
+    /// span is a design-time (not per-shape) decision. `estimate` is
+    /// exactly this at [`ArrayFlexModel::best_config`], so the flexible
+    /// path's numbers are unchanged by construction.
+    #[must_use]
+    pub fn estimate_pinned(&self, shape: GemmShape, config: PipelineConfig) -> GemmEstimate {
         let compute = self.compute_cycles(shape, config);
 
         let tiles =
@@ -242,6 +251,7 @@ pub struct ArrayFlexBackend {
     gpu: GpuConfig,
     model: ArrayFlexModel,
     cache: GemmCache,
+    pinned: Option<PipelineConfig>,
 }
 
 impl ArrayFlexBackend {
@@ -255,7 +265,27 @@ impl ArrayFlexBackend {
             gpu,
             model: ArrayFlexModel::new(gpu),
             cache: GemmCache::default(),
+            pinned: None,
         }
+    }
+
+    /// The same array with the pipeline span *pinned* at design time:
+    /// every GEMM runs under `config` instead of the per-shape best.
+    /// This is the DSE fabric axis — the cost of giving up run-time
+    /// span selection — with its own [`GemmCache`] (pinned and flexible
+    /// estimates must never share memo entries).
+    #[must_use]
+    pub fn pinned(config: PipelineConfig) -> Self {
+        let mut backend = Self::new();
+        backend.pinned = Some(config);
+        backend
+    }
+
+    /// The pinned span, when this instance was built with
+    /// [`ArrayFlexBackend::pinned`].
+    #[must_use]
+    pub const fn pinned_config(&self) -> Option<PipelineConfig> {
+        self.pinned
     }
 
     /// The pipeline configuration the model selects for a shape
@@ -274,13 +304,19 @@ impl Default for ArrayFlexBackend {
 
 impl Backend for ArrayFlexBackend {
     fn name(&self) -> &'static str {
-        "ArrayFlex"
+        match self.pinned.map(PipelineConfig::span) {
+            None => "ArrayFlex",
+            Some(1) => "ArrayFlex-span1",
+            Some(2) => "ArrayFlex-span2",
+            _ => "ArrayFlex-span4",
+        }
     }
 
     fn gemm(&self, shape: GemmShape) -> Result<GemmEstimate, RuntimeError> {
-        Ok(self
-            .cache
-            .get_or_compute(shape, || self.model.estimate(shape)))
+        Ok(self.cache.get_or_compute(shape, || match self.pinned {
+            None => self.model.estimate(shape),
+            Some(config) => self.model.estimate_pinned(shape, config),
+        }))
     }
 
     fn irregular(&self, work: IrregularWork) -> IrregularEstimate {
@@ -432,6 +468,40 @@ mod tests {
         // A mixed workload makes the dominance strict: no single span
         // is optimal for both shapes above.
         assert!((0..rc.config_count()).all(|c| rc.pinned_cycles(&shapes, c) > flexible));
+    }
+
+    #[test]
+    fn pinned_backend_charges_its_span_and_never_beats_flexible() {
+        let flexible = ArrayFlexBackend::new();
+        assert_eq!(flexible.pinned_config(), None);
+        let model = ArrayFlexModel::new(GpuConfig::volta());
+        let shapes = [
+            GemmShape::new(1, 4096, 4096),
+            GemmShape::new(3025, 96, 363),
+            GemmShape::square(512),
+        ];
+        for config in PipelineConfig::ALL {
+            let backend = ArrayFlexBackend::pinned(config);
+            assert_eq!(backend.pinned_config(), Some(config));
+            assert!(backend.name().starts_with("ArrayFlex-span"));
+            for shape in shapes {
+                let est = backend.gemm(shape).unwrap();
+                let direct = model.estimate_pinned(shape, config);
+                assert_eq!(est.time_ms.to_bits(), direct.time_ms.to_bits());
+                assert!(est.cycles >= flexible.gemm(shape).unwrap().cycles);
+            }
+        }
+        // Pinning at the flexible path's chosen span reproduces it.
+        let fc = GemmShape::new(1, 4096, 4096);
+        let chosen = flexible.config_for(fc);
+        assert_eq!(
+            ArrayFlexBackend::pinned(chosen)
+                .gemm(fc)
+                .unwrap()
+                .time_ms
+                .to_bits(),
+            flexible.gemm(fc).unwrap().time_ms.to_bits()
+        );
     }
 
     #[test]

@@ -150,7 +150,16 @@ impl FlexSaModel {
     /// Estimates one GEMM, reconfiguring to the better tile mode.
     #[must_use]
     pub fn estimate(&self, shape: GemmShape) -> GemmEstimate {
-        let mode = self.best_mode(shape);
+        self.estimate_pinned(shape, self.best_mode(shape))
+    }
+
+    /// Estimates one GEMM under one *pinned* tile mode — the
+    /// design-space-exploration axis: what the array costs when the
+    /// partitioning is a design-time (not per-shape) decision.
+    /// `estimate` is exactly this at [`FlexSaModel::best_mode`], so the
+    /// flexible path's numbers are unchanged by construction.
+    #[must_use]
+    pub fn estimate_pinned(&self, shape: GemmShape, mode: FlexSaMode) -> GemmEstimate {
         let compute = self.compute_cycles(shape, mode);
 
         let dim = mode.dim();
@@ -225,6 +234,7 @@ pub struct FlexSaBackend {
     gpu: GpuConfig,
     model: FlexSaModel,
     cache: GemmCache,
+    pinned: Option<FlexSaMode>,
 }
 
 impl FlexSaBackend {
@@ -238,7 +248,27 @@ impl FlexSaBackend {
             gpu,
             model: FlexSaModel::new(gpu),
             cache: GemmCache::default(),
+            pinned: None,
         }
+    }
+
+    /// The same array with the tile mode *pinned* at design time:
+    /// every GEMM runs under `mode` instead of the per-shape best.
+    /// This is the DSE fabric axis — the cost of giving up run-time
+    /// reconfiguration — with its own [`GemmCache`] (pinned and
+    /// flexible estimates must never share memo entries).
+    #[must_use]
+    pub fn pinned(mode: FlexSaMode) -> Self {
+        let mut backend = Self::new();
+        backend.pinned = Some(mode);
+        backend
+    }
+
+    /// The pinned mode, when this instance was built with
+    /// [`FlexSaBackend::pinned`].
+    #[must_use]
+    pub const fn pinned_mode(&self) -> Option<FlexSaMode> {
+        self.pinned
     }
 
     /// The tile mode the model selects for a shape (exposed for tests
@@ -285,13 +315,18 @@ impl Default for FlexSaBackend {
 
 impl Backend for FlexSaBackend {
     fn name(&self) -> &'static str {
-        "FlexSA"
+        match self.pinned {
+            None => "FlexSA",
+            Some(FlexSaMode::FullArray) => "FlexSA-full",
+            Some(FlexSaMode::SubArrays) => "FlexSA-sub",
+        }
     }
 
     fn gemm(&self, shape: GemmShape) -> Result<GemmEstimate, RuntimeError> {
-        Ok(self
-            .cache
-            .get_or_compute(shape, || self.model.estimate(shape)))
+        Ok(self.cache.get_or_compute(shape, || match self.pinned {
+            None => self.model.estimate(shape),
+            Some(mode) => self.model.estimate_pinned(shape, mode),
+        }))
     }
 
     fn irregular(&self, work: IrregularWork) -> IrregularEstimate {
@@ -467,6 +502,40 @@ mod tests {
         for config in 0..rc.config_count() {
             assert!(rc.pinned_cycles(&shapes, config) >= flexible);
         }
+    }
+
+    #[test]
+    fn pinned_backend_charges_its_mode_and_never_beats_flexible() {
+        let flexible = FlexSaBackend::new();
+        assert_eq!(flexible.pinned_mode(), None);
+        let model = FlexSaModel::new(GpuConfig::volta());
+        let shapes = [
+            GemmShape::new(1, 4096, 4096),
+            GemmShape::new(3025, 96, 363),
+            GemmShape::new(17, 33, 65),
+        ];
+        for mode in FlexSaMode::ALL {
+            let backend = FlexSaBackend::pinned(mode);
+            assert_eq!(backend.pinned_mode(), Some(mode));
+            assert!(backend.name().starts_with("FlexSA-"));
+            for shape in shapes {
+                let est = backend.gemm(shape).unwrap();
+                let direct = model.estimate_pinned(shape, mode);
+                assert_eq!(est.time_ms.to_bits(), direct.time_ms.to_bits());
+                assert!(est.cycles >= flexible.gemm(shape).unwrap().cycles);
+            }
+        }
+        // Pinning at the flexible path's chosen mode reproduces it.
+        let fc = GemmShape::new(1, 4096, 4096);
+        let chosen = flexible.mode_for(fc);
+        assert_eq!(
+            FlexSaBackend::pinned(chosen)
+                .gemm(fc)
+                .unwrap()
+                .time_ms
+                .to_bits(),
+            flexible.gemm(fc).unwrap().time_ms.to_bits()
+        );
     }
 
     #[test]

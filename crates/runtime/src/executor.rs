@@ -1,7 +1,7 @@
 //! Network-on-platform execution profiles.
 
 use crate::backend::{Backend, IrregularWork, RuntimeError, CRF_HANDOFF_BYTES};
-use crate::plan::{NetworkPlan, PlannedStep};
+use crate::plan::{NetworkPlan, PlanFamily, PlannedStep, TemplateStep};
 use crate::platform::Platform;
 use serde::{Deserialize, Serialize};
 use sma_energy::{EnergyBreakdown, EnergyModel};
@@ -292,42 +292,75 @@ impl Executor {
         ))
     }
 
+    /// Compiles the batch-*independent* template of a network once: a
+    /// [`PlanFamily`] from which [`PlanFamily::plan`] derives the plan
+    /// for any batch size by rewriting only the batch-dependent GEMM
+    /// steps. The executor's own batch setting is irrelevant here — the
+    /// family leaves the batch dimension symbolic.
+    ///
+    /// Compilation itself is infallible (backend GEMM dispatch is
+    /// deferred to derivation); derivation surfaces
+    /// [`RuntimeError`] through [`PlanFamily::try_plan`].
+    #[must_use]
+    pub fn plan_family(&self, network: &Network) -> PlanFamily {
+        let mut template = Vec::with_capacity(network.layers().len());
+        for (index, layer) in network.layers().iter().enumerate() {
+            if let Some(step) = self.template_for(index, layer) {
+                template.push(step);
+            }
+        }
+        PlanFamily::new(
+            self.platform,
+            Arc::clone(&self.backend),
+            network.name_shared(),
+            template,
+        )
+    }
+
     /// Resolves one layer into its frozen contribution, dispatching
     /// through the backend. `None` for a stage the configuration skips
     /// outright (an excluded CRF on an on-die backend).
     ///
     /// Both [`Executor::try_run`] and [`Executor::try_plan`] go through
     /// this — and both fold the result with [`PlannedStep::apply`] — so
-    /// plans replay bit-identically to step-by-step runs.
+    /// plans replay bit-identically to step-by-step runs. The layer
+    /// resolution itself is [`Executor::template_for`] followed by
+    /// [`TemplateStep::instantiate`] at this executor's batch size, the
+    /// same two calls [`Executor::plan_family`] splits across
+    /// family-compile and batch-derive time — which is what pins
+    /// family-derived plans bit-identical to from-scratch compilation.
     fn step_for(&self, index: usize, layer: &Layer) -> Result<Option<PlannedStep>, RuntimeError> {
+        match self.template_for(index, layer) {
+            None => Ok(None),
+            Some(template) => template
+                .instantiate(self.backend.as_ref(), self.batch)
+                .map(Some),
+        }
+    }
+
+    /// Resolves one layer into its batch-independent template step:
+    /// everything except the GEMM batch stacking and the backend's GEMM
+    /// dispatch, which [`TemplateStep::instantiate`] performs per batch
+    /// size.
+    fn template_for(&self, index: usize, layer: &Layer) -> Option<TemplateStep> {
         if !self.include_postprocessing && matches!(layer, Layer::Crf { .. }) {
             // The CRF *compute* is reported separately (paper §II-B),
             // but offload backends still pay the hand-off transfer —
             // their pipeline cannot produce the final output without
             // the host. On-die backends price the transfer at zero.
             let transfer = self.backend.transfer_ms(CRF_HANDOFF_BYTES);
-            return Ok((transfer > 0.0).then_some(PlannedStep::CrfHandoff {
+            return (transfer > 0.0).then_some(TemplateStep::Fixed(PlannedStep::CrfHandoff {
                 transfer_ms: transfer,
             }));
         }
         let step = match layer.work() {
-            LayerWork::Gemm(mut shape) => {
-                // The builder clamps batch to >= 1.
-                shape.m *= self.batch;
-                let est = self.backend.gemm(shape)?;
+            LayerWork::Gemm(shape) => {
                 let glue = if self.backend.applies_framework_overhead() {
                     self.framework_ms_per_layer
                 } else {
                     0.0
                 };
-                PlannedStep::Layer {
-                    index,
-                    ms: est.time_ms + glue,
-                    path: ExecPath::MatrixEngine,
-                    mem: est.mem,
-                    sm_cycles: est.sm_cycles,
-                    transfer_ms: 0.0,
-                }
+                TemplateStep::Gemm { index, shape, glue }
             }
             LayerWork::Irregular { .. } => {
                 // During irregular phases of dependent single-network
@@ -341,17 +374,17 @@ impl Executor {
                     // match arm just established.
                     .expect("irregular LayerWork implies irregular layer");
                 let est = self.backend.irregular(work);
-                PlannedStep::Layer {
+                TemplateStep::Fixed(PlannedStep::Layer {
                     index,
                     ms: est.time_ms,
                     path: est.path,
                     mem: est.mem,
                     sm_cycles: est.sm_cycles,
                     transfer_ms: est.transfer_ms,
-                }
+                })
             }
         };
-        Ok(Some(step))
+        Some(step)
     }
 }
 

@@ -18,7 +18,10 @@
 //! * [`plan`] — the compile-once/replay-many layer: [`Executor::plan`]
 //!   resolves every layer once into a [`NetworkPlan`] whose
 //!   [`NetworkPlan::run`] replays the profile with no locking and no
-//!   recomputation (the serving/sweep hot path);
+//!   recomputation (the serving/sweep hot path), plus the sweep-scale
+//!   machinery above it — [`PlanFamily`] (batch-incremental
+//!   compilation) and [`PlanArena`] (one shared step region for
+//!   thousands of plans);
 //! * [`serve`] — the simulated multi-shard serving layer above the
 //!   plans: seeded open-loop load generation, pluggable batching
 //!   policies and shard placement strategies, all on a deterministic
@@ -45,5 +48,5 @@ pub use backend::{
     RuntimeError, SimdBackend, SmaBackend, TensorCoreBackend, TpuHostBackend,
 };
 pub use executor::{Executor, ExecutorBuilder, LayerProfile, NetworkProfile};
-pub use plan::{NetworkPlan, PlannedStep};
+pub use plan::{ArenaPlan, NetworkPlan, PlanArena, PlanFamily, PlannedStep, TemplateStep};
 pub use platform::Platform;

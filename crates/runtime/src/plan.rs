@@ -17,6 +17,21 @@
 //! fold the same [`PlannedStep`]s in the same order (pinned by
 //! `tests/golden_profiles.txt` and the plan-parity suite).
 //!
+//! Two further layers serve sweeps that compile *thousands* of plans:
+//!
+//! * [`PlanFamily`] — incremental compilation. A family resolves the
+//!   batch-*independent* work (layer lowering, irregular estimates, CRF
+//!   hand-off) exactly once; [`PlanFamily::plan`] then derives a
+//!   sibling plan for any batch size by rewriting only the
+//!   batch-dependent GEMM steps. Derived plans are bit-identical to
+//!   from-scratch [`Executor::plan`](crate::Executor::plan) because the
+//!   per-step arithmetic is literally the same code
+//!   ([`TemplateStep::instantiate`] is the executor's GEMM arm).
+//! * [`PlanArena`] — a bump-allocated step table. Thousands of plans
+//!   share one contiguous `Vec<PlannedStep>` instead of a `Vec` each;
+//!   [`PlanArena::replay`] takes `&self`, so replay stays lock-free
+//!   pure aggregation and scales across worker threads.
+//!
 //! ```
 //! use sma_models::zoo;
 //! use sma_runtime::{Executor, Platform};
@@ -29,11 +44,12 @@
 //! assert_eq!(replay.total_ms.to_bits(), stepwise.total_ms.to_bits());
 //! ```
 
-use crate::backend::ExecPath;
+use crate::backend::{Backend, ExecPath, RuntimeError};
 use crate::executor::{LayerProfile, NetworkProfile};
 use crate::platform::Platform;
 use serde::{Deserialize, Serialize};
 use sma_mem::MemStats;
+use sma_tensor::GemmShape;
 use std::sync::Arc;
 
 /// One frozen contribution of a [`NetworkPlan`].
@@ -143,15 +159,12 @@ impl NetworkPlan {
     /// vector is allocated once at its exact final size.
     #[must_use]
     pub fn run(&self) -> NetworkProfile {
-        let mut profile = NetworkProfile::empty(
+        fold_steps(
             self.platform,
-            Arc::clone(&self.network),
+            &self.network,
+            &self.steps,
             self.profiled_layers,
-        );
-        for step in &self.steps {
-            step.apply(&mut profile);
-        }
-        profile
+        )
     }
 
     /// The platform key the plan was compiled for.
@@ -202,6 +215,395 @@ impl NetworkPlan {
         (std::mem::size_of::<Self>()
             + self.steps.len() * std::mem::size_of::<PlannedStep>()
             + self.network.len()) as u64
+    }
+}
+
+/// The one step-fold shared by every replay path.
+///
+/// [`NetworkPlan::run`] and [`PlanArena::replay`] both call this, so
+/// heap-backed and arena-backed replays are bit-identical by
+/// construction: same [`PlannedStep::apply`] calls, same order, same
+/// pre-sized per-layer vector.
+fn fold_steps(
+    platform: Platform,
+    network: &Arc<str>,
+    steps: &[PlannedStep],
+    profiled_layers: usize,
+) -> NetworkProfile {
+    let mut profile = NetworkProfile::empty(platform, Arc::clone(network), profiled_layers);
+    for step in steps {
+        step.apply(&mut profile);
+    }
+    profile
+}
+
+/// One template step of a [`PlanFamily`]: either a frozen
+/// batch-independent [`PlannedStep`], or a symbolic GEMM awaiting its
+/// batch dimension.
+///
+/// [`TemplateStep::instantiate`] IS the executor's GEMM arm — both
+/// [`Executor::try_run`](crate::Executor::try_run) and
+/// [`PlanFamily::plan`] resolve GEMM layers through it, which is what
+/// pins family-derived plans bit-identical to from-scratch compilation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TemplateStep {
+    /// Batch-independent work, frozen verbatim at family-compile time
+    /// (irregular layers, CRF hand-off transfers).
+    Fixed(PlannedStep),
+    /// A batch-dependent GEMM layer: the *unstacked* (batch-1) shape
+    /// plus the framework glue the backend bills per layer. Each batch
+    /// size rewrites `m` and re-queries the backend's memoised
+    /// estimate.
+    Gemm {
+        /// Index in the network's layer table.
+        index: usize,
+        /// The batch-1 GEMM shape (im2col-lowered, unstacked).
+        shape: GemmShape,
+        /// Framework glue in ms (0.0 when the backend is glue-free).
+        glue: f64,
+    },
+}
+
+impl TemplateStep {
+    /// Resolves the template at a batch size, dispatching GEMM steps
+    /// through the backend. The arithmetic (`shape.m *= batch`, then
+    /// `est.time_ms + glue`) is the executor's GEMM arm verbatim.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RuntimeError`] from [`Backend::gemm`].
+    pub fn instantiate(
+        &self,
+        backend: &dyn Backend,
+        batch: usize,
+    ) -> Result<PlannedStep, RuntimeError> {
+        match *self {
+            TemplateStep::Fixed(step) => Ok(step),
+            TemplateStep::Gemm {
+                index,
+                mut shape,
+                glue,
+            } => {
+                // im2col GEMMs stack along `m`; callers clamp batch >= 1.
+                shape.m *= batch;
+                let est = backend.gemm(shape)?;
+                Ok(PlannedStep::Layer {
+                    index,
+                    ms: est.time_ms + glue,
+                    path: ExecPath::MatrixEngine,
+                    mem: est.mem,
+                    sm_cycles: est.sm_cycles,
+                    transfer_ms: 0.0,
+                })
+            }
+        }
+    }
+}
+
+/// Incrementally-compiled plan family: one network on one executor
+/// configuration, batch size left symbolic.
+///
+/// Built by [`Executor::plan_family`](crate::Executor::plan_family).
+/// Construction resolves everything batch-*independent* exactly once —
+/// layer lowering, irregular estimates, the CRF hand-off decision —
+/// and records each GEMM layer as an unstacked [`TemplateStep::Gemm`].
+/// [`PlanFamily::plan`] then derives the plan for any batch size by
+/// rewriting only those GEMM steps, so compiling `B` batch variants
+/// costs one full compile plus `B` sets of memoised GEMM lookups
+/// instead of `B` full compiles.
+///
+/// Derived plans are pinned bit-identical to from-scratch
+/// [`Executor::plan`](crate::Executor::plan) (the plan-parity suite and
+/// `tests/plan_family.rs` enforce this): both paths build their steps
+/// with [`TemplateStep::instantiate`].
+#[derive(Debug, Clone)]
+pub struct PlanFamily {
+    platform: Platform,
+    backend: Arc<dyn Backend>,
+    network: Arc<str>,
+    template: Vec<TemplateStep>,
+}
+
+impl PlanFamily {
+    pub(crate) fn new(
+        platform: Platform,
+        backend: Arc<dyn Backend>,
+        network: Arc<str>,
+        template: Vec<TemplateStep>,
+    ) -> Self {
+        PlanFamily {
+            platform,
+            backend,
+            network,
+            template,
+        }
+    }
+
+    /// The platform key the family was compiled for.
+    #[must_use]
+    pub const fn platform(&self) -> Platform {
+        self.platform
+    }
+
+    /// The network name the family was compiled from.
+    #[must_use]
+    pub fn network(&self) -> &str {
+        &self.network
+    }
+
+    /// The frozen template steps, in execution order.
+    #[must_use]
+    pub fn template(&self) -> &[TemplateStep] {
+        &self.template
+    }
+
+    /// Number of batch-dependent (GEMM) steps a batch derivation
+    /// rewrites; the remaining steps are reused frozen.
+    #[must_use]
+    pub fn gemm_steps(&self) -> usize {
+        self.template
+            .iter()
+            .filter(|t| matches!(t, TemplateStep::Gemm { .. }))
+            .count()
+    }
+
+    /// The batch-stacked GEMM shapes this family dispatches at a batch
+    /// size, in execution order. This is the family's matrix workload
+    /// as a value — the DSE layer feeds it to
+    /// [`sma_tensor::GemmShapeBatch`] for batched statistics kernels.
+    #[must_use]
+    pub fn gemm_shapes(&self, batch: usize) -> Vec<GemmShape> {
+        let batch = batch.max(1);
+        self.template
+            .iter()
+            .filter_map(|t| match *t {
+                TemplateStep::Gemm { mut shape, .. } => {
+                    shape.m *= batch;
+                    Some(shape)
+                }
+                TemplateStep::Fixed(_) => None,
+            })
+            .collect()
+    }
+
+    /// Derives the [`NetworkPlan`] for a batch size (clamped to >= 1),
+    /// rewriting only the batch-dependent GEMM steps.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RuntimeError`] from the backend (e.g. a GEMM-only
+    /// engine refusing a shape).
+    pub fn try_plan(&self, batch: usize) -> Result<NetworkPlan, RuntimeError> {
+        let batch = batch.max(1);
+        let mut steps = Vec::with_capacity(self.template.len());
+        for template in &self.template {
+            steps.push(template.instantiate(self.backend.as_ref(), batch)?);
+        }
+        Ok(NetworkPlan::new(
+            self.platform,
+            Arc::clone(&self.network),
+            steps,
+        ))
+    }
+
+    /// Derives the plan for a batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the backend rejects a shape; use
+    /// [`PlanFamily::try_plan`] to handle that as a value.
+    #[must_use]
+    pub fn plan(&self, batch: usize) -> NetworkPlan {
+        self.try_plan(batch)
+            // sma-lint: allow(no-panic) — documented panic; try_plan is
+            // the fallible form and the message routes callers to it.
+            .expect("backend rejected a shape; use try_plan for fallible derivation")
+    }
+
+    /// Derives the plan for a batch size directly into an arena,
+    /// returning the handle. Equivalent to `arena.intern(&family
+    /// .try_plan(batch)?)` without the intermediate heap plan.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RuntimeError`] from the backend; on error the arena
+    /// is left exactly as it was (no partial plan is retained).
+    pub fn try_plan_into(
+        &self,
+        batch: usize,
+        arena: &mut PlanArena,
+    ) -> Result<ArenaPlan, RuntimeError> {
+        let batch = batch.max(1);
+        let start = arena.steps.len();
+        for template in &self.template {
+            match template.instantiate(self.backend.as_ref(), batch) {
+                Ok(step) => arena.steps.push(step),
+                Err(err) => {
+                    arena.steps.truncate(start);
+                    return Err(err);
+                }
+            }
+        }
+        Ok(arena.seal(self.platform, Arc::clone(&self.network), start))
+    }
+}
+
+/// A bump-allocated step table shared by many compiled plans.
+///
+/// Interning a plan appends its frozen steps to one contiguous
+/// `Vec<PlannedStep>` and returns a lightweight [`ArenaPlan`] handle
+/// (platform, name, offset, length). A 5,000-point sweep thus holds
+/// *one* allocation region for every step table instead of one `Vec`
+/// per plan, and replay walks a dense slice — cache-friendly and free
+/// of per-plan allocator traffic.
+///
+/// The build phase takes `&mut self`; replay takes `&self` only, so
+/// worker threads replay concurrently with no locks
+/// ([`PlanArena::replay`] is the same pure fold as
+/// [`NetworkPlan::run`], hence bit-identical to it).
+#[derive(Debug, Clone, Default)]
+pub struct PlanArena {
+    steps: Vec<PlannedStep>,
+}
+
+impl PlanArena {
+    /// An empty arena.
+    #[must_use]
+    pub fn new() -> Self {
+        PlanArena::default()
+    }
+
+    /// An empty arena with room for `steps` frozen steps.
+    #[must_use]
+    pub fn with_capacity(steps: usize) -> Self {
+        PlanArena {
+            steps: Vec::with_capacity(steps),
+        }
+    }
+
+    /// Interns a compiled plan: copies its steps into the shared region
+    /// and returns the replay handle.
+    pub fn intern(&mut self, plan: &NetworkPlan) -> ArenaPlan {
+        let start = self.steps.len();
+        self.steps.extend_from_slice(plan.steps());
+        self.seal(plan.platform, Arc::clone(&plan.network), start)
+    }
+
+    /// Closes the half-open step range `start..len()` into a handle.
+    fn seal(&self, platform: Platform, network: Arc<str>, start: usize) -> ArenaPlan {
+        let slice = &self.steps[start..];
+        ArenaPlan {
+            platform,
+            network,
+            start,
+            len: slice.len(),
+            profiled_layers: slice
+                .iter()
+                .filter(|s| matches!(s, PlannedStep::Layer { .. }))
+                .count(),
+        }
+    }
+
+    /// The frozen steps of one interned plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plan` was produced by a different (or shorter) arena;
+    /// handles are only valid for the arena that produced them.
+    #[must_use]
+    pub fn steps(&self, plan: &ArenaPlan) -> &[PlannedStep] {
+        &self.steps[plan.start..plan.start + plan.len]
+    }
+
+    /// Replays one interned plan into a fresh profile — the same
+    /// lock-free pure aggregation as [`NetworkPlan::run`], and
+    /// bit-identical to it (both call the one shared step fold).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plan` came from a different arena.
+    #[must_use]
+    pub fn replay(&self, plan: &ArenaPlan) -> NetworkProfile {
+        fold_steps(
+            plan.platform,
+            &plan.network,
+            self.steps(plan),
+            plan.profiled_layers,
+        )
+    }
+
+    /// Total milliseconds of one replay without building the profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plan` came from a different arena.
+    #[must_use]
+    pub fn total_ms(&self, plan: &ArenaPlan) -> f64 {
+        self.steps(plan)
+            .iter()
+            .map(|s| match *s {
+                PlannedStep::CrfHandoff { transfer_ms } => transfer_ms,
+                PlannedStep::Layer { ms, .. } => ms,
+            })
+            .sum()
+    }
+
+    /// Total frozen steps resident across all interned plans.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the arena holds no steps.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Resident bytes of the shared step region (capacity, not just
+    /// occupancy — this is what the allocator actually holds).
+    #[must_use]
+    pub fn mem_bytes(&self) -> u64 {
+        (std::mem::size_of::<Self>() + self.steps.capacity() * std::mem::size_of::<PlannedStep>())
+            as u64
+    }
+}
+
+/// Replay handle for one plan interned in a [`PlanArena`]: platform
+/// key, shared network name, and the step range. ~64 bytes regardless
+/// of network depth — the steps live in the arena.
+#[derive(Debug, Clone)]
+pub struct ArenaPlan {
+    platform: Platform,
+    network: Arc<str>,
+    start: usize,
+    len: usize,
+    profiled_layers: usize,
+}
+
+impl ArenaPlan {
+    /// The platform key the plan was compiled for.
+    #[must_use]
+    pub const fn platform(&self) -> Platform {
+        self.platform
+    }
+
+    /// The network name the plan was compiled from.
+    #[must_use]
+    pub fn network(&self) -> &str {
+        &self.network
+    }
+
+    /// Number of frozen steps in the arena region.
+    #[must_use]
+    pub const fn step_count(&self) -> usize {
+        self.len
+    }
+
+    /// Number of profiled layers a replay will record.
+    #[must_use]
+    pub const fn layer_count(&self) -> usize {
+        self.profiled_layers
     }
 }
 
@@ -286,6 +688,115 @@ mod tests {
         let small = Executor::new(Platform::Sma3).plan(&zoo::alexnet());
         let large = Executor::new(Platform::Sma3).plan(&zoo::googlenet());
         assert!(large.mem_bytes() > small.mem_bytes());
+    }
+
+    fn assert_profiles_bitwise(a: &NetworkProfile, b: &NetworkProfile) {
+        assert_eq!(a.total_ms.to_bits(), b.total_ms.to_bits());
+        assert_eq!(a.gemm_ms.to_bits(), b.gemm_ms.to_bits());
+        assert_eq!(a.irregular_ms.to_bits(), b.irregular_ms.to_bits());
+        assert_eq!(a.transfer_ms.to_bits(), b.transfer_ms.to_bits());
+        assert_eq!(a.sm_cycles, b.sm_cycles);
+        assert_eq!(a.mem, b.mem);
+        assert_eq!(a.layers.len(), b.layers.len());
+        for (x, y) in a.layers.iter().zip(&b.layers) {
+            assert_eq!(x.index, y.index);
+            assert_eq!(x.ms.to_bits(), y.ms.to_bits());
+            assert_eq!(x.path, y.path);
+        }
+    }
+
+    #[test]
+    fn family_derived_plans_match_from_scratch_bitwise() {
+        for platform in [Platform::GpuSimd, Platform::Sma3, Platform::TpuHost] {
+            let base = Executor::new(platform);
+            let net = zoo::mask_rcnn();
+            let family = base.plan_family(&net);
+            for batch in [1usize, 4, 16, 64] {
+                let derived = family.plan(batch);
+                let scratch = base.with_batch(batch).plan(&net);
+                assert_eq!(derived.steps(), scratch.steps(), "{platform:?} b{batch}");
+                assert_profiles_bitwise(&derived.run(), &scratch.run());
+            }
+        }
+    }
+
+    #[test]
+    fn family_rewrites_only_gemm_steps() {
+        let net = zoo::mask_rcnn();
+        let family = Executor::new(Platform::Sma3).plan_family(&net);
+        assert!(family.gemm_steps() > 0);
+        assert!(family.gemm_steps() < family.template().len());
+        let b1 = family.plan(1);
+        let b64 = family.plan(64);
+        for (t, (a, b)) in family
+            .template()
+            .iter()
+            .zip(b1.steps().iter().zip(b64.steps()))
+        {
+            match t {
+                TemplateStep::Fixed(_) => assert_eq!(a, b, "fixed step drifted across batches"),
+                TemplateStep::Gemm { .. } => assert_ne!(a, b, "gemm step ignored the batch"),
+            }
+        }
+        // The family's shape view stacks along m only.
+        let s1 = family.gemm_shapes(1);
+        let s16 = family.gemm_shapes(16);
+        assert_eq!(s1.len(), family.gemm_steps());
+        for (a, b) in s1.iter().zip(&s16) {
+            assert_eq!(a.m * 16, b.m);
+            assert_eq!(a.n, b.n);
+            assert_eq!(a.k, b.k);
+        }
+    }
+
+    #[test]
+    fn family_batch_is_clamped_like_the_builder() {
+        let net = zoo::alexnet();
+        let family = Executor::new(Platform::Sma2).plan_family(&net);
+        let a = family.plan(0);
+        let b = family.plan(1);
+        assert_eq!(a.steps(), b.steps());
+    }
+
+    #[test]
+    fn arena_replay_matches_heap_replay_bitwise() {
+        let mut arena = PlanArena::new();
+        let mut pairs = Vec::new();
+        for platform in [Platform::GpuSimd, Platform::Sma3, Platform::TpuHost] {
+            for net in [zoo::alexnet(), zoo::deeplab(), zoo::mask_rcnn()] {
+                let plan = Executor::new(platform).plan(&net);
+                let handle = arena.intern(&plan);
+                pairs.push((plan, handle));
+            }
+        }
+        assert_eq!(
+            arena.len(),
+            pairs.iter().map(|(p, _)| p.steps().len()).sum::<usize>()
+        );
+        for (plan, handle) in &pairs {
+            assert_eq!(handle.platform(), plan.platform());
+            assert_eq!(handle.network(), plan.network());
+            assert_eq!(handle.step_count(), plan.steps().len());
+            assert_eq!(handle.layer_count(), plan.layer_count());
+            assert_eq!(arena.steps(handle), plan.steps());
+            assert_eq!(arena.total_ms(handle).to_bits(), plan.total_ms().to_bits());
+            assert_profiles_bitwise(&arena.replay(handle), &plan.run());
+        }
+    }
+
+    #[test]
+    fn family_plans_directly_into_arena() {
+        let net = zoo::googlenet();
+        let family = Executor::kernel_study(Platform::Sma3).plan_family(&net);
+        let mut arena = PlanArena::with_capacity(net.layers().len() * 4);
+        for batch in [1usize, 4, 16, 64] {
+            let handle = family.try_plan_into(batch, &mut arena).unwrap();
+            let heap = family.plan(batch);
+            assert_eq!(arena.steps(&handle), heap.steps());
+            assert_profiles_bitwise(&arena.replay(&handle), &heap.run());
+        }
+        assert!(arena.mem_bytes() > 0);
+        assert!(!arena.is_empty());
     }
 
     #[test]

@@ -164,6 +164,60 @@ impl F16 {
     pub fn mul_add_f32(self, a: F16, b: F16) -> F16 {
         F16::from_f32(a.to_f32().mul_add(b.to_f32(), self.to_f32()))
     }
+
+    /// Quantises a whole `f32` slice to binary16, appending to `dst`.
+    ///
+    /// The batched form of [`F16::from_f32`]: the inner loop runs in
+    /// fixed 8-element lanes so the conversion overhead amortises
+    /// across a shape-batch (the sweep hot path converts operand
+    /// panels, not scalars). The conversion itself is elementwise
+    /// round-to-nearest-even, so the result is bit-identical to
+    /// mapping [`F16::from_f32`] one value at a time.
+    pub fn quantize_slice(src: &[f32], dst: &mut Vec<F16>) {
+        dst.reserve(src.len());
+        let mut chunks = src.chunks_exact(8);
+        for c in &mut chunks {
+            let lane: [F16; 8] = [
+                F16::from_f32(c[0]),
+                F16::from_f32(c[1]),
+                F16::from_f32(c[2]),
+                F16::from_f32(c[3]),
+                F16::from_f32(c[4]),
+                F16::from_f32(c[5]),
+                F16::from_f32(c[6]),
+                F16::from_f32(c[7]),
+            ];
+            dst.extend_from_slice(&lane);
+        }
+        for &v in chunks.remainder() {
+            dst.push(F16::from_f32(v));
+        }
+    }
+
+    /// Widens a whole binary16 slice back to `f32`, appending to `dst`
+    /// — the exact inverse direction of [`F16::quantize_slice`], same
+    /// 8-wide lane structure, bit-identical to elementwise
+    /// [`F16::to_f32`] (which is exact for every binary16 value).
+    pub fn widen_slice(src: &[F16], dst: &mut Vec<f32>) {
+        dst.reserve(src.len());
+        let mut chunks = src.chunks_exact(8);
+        for c in &mut chunks {
+            let lane: [f32; 8] = [
+                c[0].to_f32(),
+                c[1].to_f32(),
+                c[2].to_f32(),
+                c[3].to_f32(),
+                c[4].to_f32(),
+                c[5].to_f32(),
+                c[6].to_f32(),
+                c[7].to_f32(),
+            ];
+            dst.extend_from_slice(&lane);
+        }
+        for &v in chunks.remainder() {
+            dst.push(v.to_f32());
+        }
+    }
 }
 
 impl From<f32> for F16 {
@@ -324,5 +378,40 @@ mod tests {
     #[test]
     fn display_shows_value() {
         assert_eq!(F16::ONE.to_string(), "1");
+    }
+
+    #[test]
+    fn slice_kernels_match_elementwise_bitwise() {
+        // Lengths straddling the 8-wide lane boundary, including 0 and
+        // remainders of every size.
+        for len in [0usize, 1, 7, 8, 9, 15, 16, 17, 64, 100] {
+            let src: Vec<f32> = (0..len)
+                .map(|i| (i as f32 - 31.5) * 0.37 + 1.0 / (i as f32 + 1.0))
+                .collect();
+            let mut batched = Vec::new();
+            F16::quantize_slice(&src, &mut batched);
+            assert_eq!(batched.len(), len);
+            for (i, (&b, &v)) in batched.iter().zip(&src).enumerate() {
+                assert_eq!(b.to_bits(), F16::from_f32(v).to_bits(), "len {len} idx {i}");
+            }
+            let mut widened = Vec::new();
+            F16::widen_slice(&batched, &mut widened);
+            assert_eq!(widened.len(), len);
+            for (i, (&w, &b)) in widened.iter().zip(&batched).enumerate() {
+                assert_eq!(w.to_bits(), b.to_f32().to_bits(), "len {len} idx {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn slice_kernels_append_without_clearing() {
+        let mut dst = vec![F16::ONE];
+        F16::quantize_slice(&[2.0, 3.0], &mut dst);
+        assert_eq!(dst.len(), 3);
+        assert_eq!(dst[0].to_f32(), 1.0);
+        assert_eq!(dst[2].to_f32(), 3.0);
+        let mut wide = vec![0.0f32];
+        F16::widen_slice(&dst, &mut wide);
+        assert_eq!(wide, vec![0.0, 1.0, 2.0, 3.0]);
     }
 }

@@ -78,6 +78,187 @@ impl std::fmt::Display for GemmShape {
     }
 }
 
+/// Runs a chunked reduction in fixed 8-element lanes: eight independent
+/// accumulators over the exact chunks, folded, then the remainder.
+/// `u64` addition is associative, so the result equals the naive
+/// left-to-right sum exactly — the lanes only restructure the loop for
+/// the batched estimate kernels.
+#[inline]
+fn fold8(len: usize, term: impl Fn(usize) -> u64) -> u64 {
+    let mut acc = [0u64; 8];
+    let mut i = 0;
+    while i + 8 <= len {
+        acc[0] += term(i);
+        acc[1] += term(i + 1);
+        acc[2] += term(i + 2);
+        acc[3] += term(i + 3);
+        acc[4] += term(i + 4);
+        acc[5] += term(i + 5);
+        acc[6] += term(i + 6);
+        acc[7] += term(i + 7);
+        i += 8;
+    }
+    let mut total: u64 = acc.iter().sum();
+    while i < len {
+        total += term(i);
+        i += 1;
+    }
+    total
+}
+
+/// Structure-of-arrays batch of GEMM shapes.
+///
+/// A design-space sweep evaluates *thousands* of `(network, batch)`
+/// points, each a handful of GEMM shapes; calling the scalar
+/// [`GemmShape`] accessors per shape per point puts a virtual-call-free
+/// but cache-hostile AoS walk on the hot path. `GemmShapeBatch` stores
+/// the `m`/`n`/`k` columns separately and runs the estimate reductions
+/// in fixed 8-element lanes (`fold8`), so a whole workload's FLOPs,
+/// MACs and traffic resolve in a few dense passes.
+///
+/// Every kernel is pinned to the scalar accessors: integer lane
+/// accumulation is associative, so `total_flops` equals summing
+/// [`GemmShape::flops`] shape-by-shape exactly (the unit tests assert
+/// equality, not tolerance).
+///
+/// # Example
+///
+/// ```
+/// use sma_tensor::{GemmShape, GemmShapeBatch};
+///
+/// let batch = GemmShapeBatch::from_shapes(&[
+///     GemmShape::new(64, 128, 32),
+///     GemmShape::new(16, 16, 16),
+/// ]);
+/// let scalar: u64 = [GemmShape::new(64, 128, 32), GemmShape::new(16, 16, 16)]
+///     .iter()
+///     .map(GemmShape::flops)
+///     .sum();
+/// assert_eq!(batch.total_flops(), scalar);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GemmShapeBatch {
+    ms: Vec<u64>,
+    ns: Vec<u64>,
+    ks: Vec<u64>,
+}
+
+impl GemmShapeBatch {
+    /// An empty batch.
+    #[must_use]
+    pub fn new() -> Self {
+        GemmShapeBatch::default()
+    }
+
+    /// An empty batch with room for `shapes` entries per column.
+    #[must_use]
+    pub fn with_capacity(shapes: usize) -> Self {
+        GemmShapeBatch {
+            ms: Vec::with_capacity(shapes),
+            ns: Vec::with_capacity(shapes),
+            ks: Vec::with_capacity(shapes),
+        }
+    }
+
+    /// Builds a batch from a shape slice.
+    #[must_use]
+    pub fn from_shapes(shapes: &[GemmShape]) -> Self {
+        let mut batch = GemmShapeBatch::with_capacity(shapes.len());
+        for &s in shapes {
+            batch.push(s);
+        }
+        batch
+    }
+
+    /// Appends one shape.
+    pub fn push(&mut self, shape: GemmShape) {
+        self.ms.push(shape.m as u64);
+        self.ns.push(shape.n as u64);
+        self.ks.push(shape.k as u64);
+    }
+
+    /// Number of shapes in the batch.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ms.len()
+    }
+
+    /// Whether the batch holds no shapes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ms.is_empty()
+    }
+
+    /// The batch with every `m` stacked by `batch` (clamped to >= 1) —
+    /// the im2col batch-stacking rule, applied as one dense column
+    /// pass instead of per shape.
+    #[must_use]
+    pub fn stacked(&self, batch: usize) -> GemmShapeBatch {
+        let factor = batch.max(1) as u64;
+        GemmShapeBatch {
+            ms: self.ms.iter().map(|&m| m * factor).collect(),
+            ns: self.ns.clone(),
+            ks: self.ks.clone(),
+        }
+    }
+
+    /// Total FLOPs across the batch (each MAC counts as 2 FLOPs);
+    /// exactly `Σ` [`GemmShape::flops`].
+    #[must_use]
+    pub fn total_flops(&self) -> u64 {
+        fold8(self.len(), |i| 2 * self.ms[i] * self.ns[i] * self.ks[i])
+    }
+
+    /// Total MAC operations across the batch; exactly `Σ`
+    /// [`GemmShape::macs`].
+    #[must_use]
+    pub fn total_macs(&self) -> u64 {
+        fold8(self.len(), |i| self.ms[i] * self.ns[i] * self.ks[i])
+    }
+
+    /// Total minimum bytes touched across the batch at `elem_bytes`
+    /// per element; exactly `Σ` [`GemmShape::min_bytes`].
+    #[must_use]
+    pub fn total_min_bytes(&self, elem_bytes: usize) -> u64 {
+        let eb = elem_bytes as u64;
+        fold8(self.len(), |i| {
+            let (m, n, k) = (self.ms[i], self.ns[i], self.ks[i]);
+            (m * k + k * n + 2 * m * n) * eb
+        })
+    }
+
+    /// Aggregate arithmetic intensity of the whole batch in FLOPs per
+    /// byte: total FLOPs over total minimum traffic (*not* the mean of
+    /// per-shape intensities — the aggregate weights big GEMMs the way
+    /// the memory system does).
+    #[must_use]
+    pub fn arithmetic_intensity(&self, elem_bytes: usize) -> f64 {
+        let bytes = self.total_min_bytes(elem_bytes);
+        if bytes == 0 {
+            return 0.0;
+        }
+        self.total_flops() as f64 / bytes as f64
+    }
+
+    /// Per-shape FLOPs, appended to `out` in batch order (the chunked
+    /// write-out form of the reduction kernels, for callers that need
+    /// the distribution rather than the total).
+    pub fn flops_into(&self, out: &mut Vec<u64>) {
+        out.reserve(self.len());
+        let mut i = 0;
+        while i + 8 <= self.len() {
+            let lane: [u64; 8] =
+                std::array::from_fn(|l| 2 * self.ms[i + l] * self.ns[i + l] * self.ks[i + l]);
+            out.extend_from_slice(&lane);
+            i += 8;
+        }
+        while i < self.len() {
+            out.push(2 * self.ms[i] * self.ns[i] * self.ks[i]);
+            i += 1;
+        }
+    }
+}
+
 fn check_shapes<T: Scalar>(
     op: &'static str,
     a: &Matrix<T>,
@@ -208,8 +389,14 @@ pub fn blocked<T: Scalar>(
 pub fn mixed_precision_f16(a: &Matrix<f32>, b: &Matrix<f32>) -> Result<Matrix<f32>, TensorError> {
     use crate::f16::F16;
     let shape = check_shapes("gemm::mixed_precision_f16", a, b)?;
-    let ah = a.map(F16::from_f32);
-    let bh = b.map(F16::from_f32);
+    // Quantise whole operand panels through the 8-wide slice kernel
+    // (bit-identical to an elementwise map; see `F16::quantize_slice`).
+    let mut ah_data = Vec::new();
+    F16::quantize_slice(a.as_slice(), &mut ah_data);
+    let ah = Matrix::from_vec(shape.m, shape.k, ah_data)?;
+    let mut bh_data = Vec::new();
+    F16::quantize_slice(b.as_slice(), &mut bh_data);
+    let bh = Matrix::from_vec(shape.k, shape.n, bh_data)?;
     let mut c = Matrix::zeros(shape.m, shape.n);
     for i in 0..shape.m {
         for j in 0..shape.n {
@@ -301,6 +488,72 @@ mod tests {
         let mixed = mixed_precision_f16(&a, &b).unwrap();
         // Inputs are in [-1,1); k=16 keeps the FP16 quantisation error tiny.
         assert!(exact.approx_eq(&mixed, 2e-2));
+    }
+
+    fn odd_shapes(count: usize) -> Vec<GemmShape> {
+        // Deliberately not a multiple of 8 unless asked; irregular
+        // dimensions exercise both the lanes and the remainder.
+        (0..count)
+            .map(|i| GemmShape::new(3 * i + 1, 2 * i + 5, i % 7 + 1))
+            .collect()
+    }
+
+    #[test]
+    fn shape_batch_matches_scalar_accessors_exactly() {
+        for count in [0usize, 1, 7, 8, 9, 23, 64] {
+            let shapes = odd_shapes(count);
+            let batch = GemmShapeBatch::from_shapes(&shapes);
+            assert_eq!(batch.len(), count);
+            assert_eq!(batch.is_empty(), count == 0);
+            assert_eq!(
+                batch.total_flops(),
+                shapes.iter().map(GemmShape::flops).sum::<u64>(),
+                "count {count}"
+            );
+            assert_eq!(
+                batch.total_macs(),
+                shapes.iter().map(GemmShape::macs).sum::<u64>()
+            );
+            for eb in [2usize, 4] {
+                assert_eq!(
+                    batch.total_min_bytes(eb),
+                    shapes.iter().map(|s| s.min_bytes(eb)).sum::<u64>()
+                );
+            }
+            let mut per_shape = Vec::new();
+            batch.flops_into(&mut per_shape);
+            assert_eq!(
+                per_shape,
+                shapes.iter().map(GemmShape::flops).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn shape_batch_stacking_matches_im2col_rule() {
+        let shapes = odd_shapes(11);
+        let batch = GemmShapeBatch::from_shapes(&shapes);
+        let stacked = batch.stacked(16);
+        let scalar: Vec<GemmShape> = shapes
+            .iter()
+            .map(|s| GemmShape::new(s.m * 16, s.n, s.k))
+            .collect();
+        assert_eq!(stacked, GemmShapeBatch::from_shapes(&scalar));
+        // Batch 0 clamps to 1, like the executor builder.
+        assert_eq!(batch.stacked(0), batch.stacked(1));
+    }
+
+    #[test]
+    fn shape_batch_intensity_is_aggregate() {
+        let shapes = odd_shapes(9);
+        let batch = GemmShapeBatch::from_shapes(&shapes);
+        let flops: u64 = shapes.iter().map(GemmShape::flops).sum();
+        let bytes: u64 = shapes.iter().map(|s| s.min_bytes(2)).sum();
+        assert_eq!(batch.arithmetic_intensity(2), flops as f64 / bytes as f64);
+        assert_eq!(GemmShapeBatch::new().arithmetic_intensity(2), 0.0);
+        let mut grown = GemmShapeBatch::with_capacity(4);
+        grown.push(GemmShape::square(8));
+        assert_eq!(grown.total_flops(), GemmShape::square(8).flops());
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub mod scalar;
 pub mod tile;
 
 pub use f16::F16;
-pub use gemm::GemmShape;
+pub use gemm::{GemmShape, GemmShapeBatch};
 pub use im2col::{Conv2dParams, TensorShape};
 pub use matrix::Matrix;
 pub use quant::{QuantParams, QuantisedMatrix};
